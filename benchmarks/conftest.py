@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks regenerate the paper's artifacts.  Sweep density defaults to a
+CI-friendly size; set ``REPRO_CASES=200`` (and be patient) to match the
+paper's 200-case density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.noise_injection import SweepTiming
+from repro.experiments.runtime import make_runtime_inputs
+from repro.experiments.setup import CONFIG_I
+from repro.experiments.table1 import default_case_count
+
+
+@pytest.fixture(scope="session")
+def sweep_timing() -> SweepTiming:
+    """Simulation frame shared by all benchmark sweeps."""
+    return SweepTiming(dt=2e-12)
+
+
+@pytest.fixture(scope="session")
+def bench_cases() -> int:
+    """Number of noise-injection cases (REPRO_CASES env or 10)."""
+    return default_case_count(fallback=10)
+
+
+@pytest.fixture(scope="session")
+def runtime_inputs(sweep_timing):
+    """A representative noisy waveform + noiseless reference (Config I)."""
+    return make_runtime_inputs(CONFIG_I, timing=sweep_timing)

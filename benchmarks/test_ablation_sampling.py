@@ -1,0 +1,32 @@
+"""Ablation — SGDP accuracy versus the sampling count P.
+
+§4.2: "The SGDP run-time can be reduced by using smaller P values.
+However small P tends to result in lower timing analysis accuracy."
+This benchmark sweeps P and reports the SGDP error statistics at each
+density, checking that the paper's P = 35 is not measurably worse than a
+4x denser sampling (i.e. accuracy has saturated by P = 35).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import sampling_ablation
+from repro.experiments.setup import CONFIG_I
+
+
+def test_sampling_ablation(benchmark, sweep_timing):
+    rows = benchmark.pedantic(
+        sampling_ablation,
+        kwargs={"sample_counts": (5, 9, 17, 35, 69), "config": CONFIG_I,
+                "n_cases": 7, "timing": sweep_timing},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"  {'P':>4s} {'max(ps)':>9s} {'avg(ps)':>9s}")
+    for row in rows:
+        print(f"  {row.n_samples:4d} {row.stats.max_ps:9.1f} {row.stats.avg_ps:9.1f}")
+
+    by_p = {row.n_samples: row.stats for row in rows}
+    # Accuracy at the paper's P=35 should have saturated: doubling P buys
+    # little, while the sparsest sampling is measurably worse or equal.
+    assert by_p[35].mean_abs <= by_p[5].mean_abs * 1.2
+    assert by_p[69].mean_abs >= 0.5 * by_p[35].mean_abs

@@ -1,0 +1,67 @@
+"""§4.2 reproduction — run-time comparison of the techniques.
+
+The paper reports per-gate propagation times (Sun Blade 1000): ~40 µs for
+P1/P2/LSF3/E4, ~60 µs for WLS5, ~65 µs for SGDP at P = 35, all linear in
+P.  These benchmarks time each technique's Γ_eff computation on the same
+representative Config I noisy waveform; the reproduction target is the
+*ordering* (simple techniques cheapest, WLS5/SGDP a modest constant
+factor dearer) and rough linearity in P, not 2005-hardware microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.techniques import (
+    PAPER_TECHNIQUE_ORDER,
+    PropagationInputs,
+    technique_by_name,
+)
+from repro.experiments.runtime import measure_runtimes
+
+
+@pytest.mark.parametrize("name", PAPER_TECHNIQUE_ORDER)
+def test_technique_runtime(benchmark, name, runtime_inputs):
+    tech = technique_by_name(name)
+    if runtime_inputs.v_in_noiseless is not None:
+        runtime_inputs.sensitivity()  # shared characterisation, outside timing
+    ramp = benchmark(tech.equivalent_waveform, runtime_inputs)
+    assert ramp.slew() > 0
+
+
+def test_runtime_ordering(benchmark, runtime_inputs):
+    """The paper's qualitative claim: sensitivity-based techniques cost a
+    constant factor more than the simple ones, far from asymptotically."""
+    results = benchmark.pedantic(measure_runtimes, args=(runtime_inputs,),
+                                 kwargs={"repeat": 30, "warmup": 3},
+                                 rounds=1, iterations=1)
+    print()
+    for name in PAPER_TECHNIQUE_ORDER:
+        print(f"  {name:5s} {results[name].microseconds:9.1f} us/call")
+    simple = min(results[n].seconds_per_call for n in ("P1", "P2", "LSF3", "E4"))
+    assert results["SGDP"].seconds_per_call < 400 * simple, \
+        "SGDP should cost a constant factor, not orders of magnitude"
+
+
+def test_runtime_linear_in_sample_count(benchmark, runtime_inputs):
+    """§4.2: 'worst case computational complexity of all techniques ... is
+    of linear order with respect to P'."""
+    def sweep():
+        out = {}
+        for p in (9, 35, 139):
+            inputs = PropagationInputs(
+                v_in_noisy=runtime_inputs.v_in_noisy,
+                vdd=runtime_inputs.vdd,
+                v_in_noiseless=runtime_inputs.v_in_noiseless,
+                v_out_noiseless=runtime_inputs.v_out_noiseless,
+                n_samples=p,
+            )
+            out[p] = measure_runtimes(inputs, techniques=[technique_by_name("LSF3")],
+                                      repeat=20, warmup=2)["LSF3"].seconds_per_call
+        return out
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for p, sec in times.items():
+        print(f"  P={p:4d}  {sec * 1e6:8.2f} us/call")
+    # 15x more samples should cost well under 100x (linear + overhead).
+    assert times[139] < 100 * max(times[9], 1e-9)

@@ -1,0 +1,44 @@
+"""Quiet-victim glitch analysis of the Figure 1 coupling regime.
+
+Holds the victim input at its rail, fires the aggressors of
+Configuration I and II, and reports the injected noise pulse at the
+victim far end and the receiver's response — the functional-noise
+counterpart of the paper's timing experiments, and the measurement that
+shows how strong this testbench's coupling regime is.
+
+Run:
+    python examples/glitch_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure2 import ascii_plot
+from repro.experiments.glitch import glitch_sweep, worst_glitch
+from repro.experiments.noise_injection import SweepTiming
+from repro.experiments.setup import CONFIG_I, CONFIG_II
+
+
+def main() -> None:
+    timing = SweepTiming(dt=2e-12)
+    for config in (CONFIG_I, CONFIG_II):
+        print(f"\n=== Configuration {config.name}: quiet victim, "
+              f"{config.n_aggressors} aggressor(s) ===")
+        sweep = glitch_sweep(config, n_cases=3, timing=timing)
+        worst = worst_glitch(sweep)
+        print(f"  victim glitch peak      : {worst.peak_height:.3f} V "
+              f"({worst.peak_height / config.vdd * 100:.0f}% of Vdd)")
+        print(f"  width at half height    : {worst.width_at_half * 1e12:.0f} ps")
+        print(f"  receiver output bounce  : {worst.output_disturbance:.3f} V")
+        print(f"  propagates (>0.5 Vdd)?  : {worst.propagates(config.vdd)}")
+
+        t = np.linspace(worst.v_victim.t_start, worst.v_victim.t_end, 150)
+        print(ascii_plot(t, {
+            "victim far end": np.asarray(worst.v_victim(t)),
+            "receiver out": np.asarray(worst.v_receiver_out(t)),
+        }, width=76, height=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: propagate one noisy waveform through a gate, six ways.
+
+Builds the paper's Configuration I testbench (Figure 1), injects one
+crosstalk alignment, and compares every equivalent-waveform technique —
+including the proposed SGDP — against the golden transient simulation.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.propagation import evaluate_techniques
+from repro.core.techniques import PropagationInputs, all_techniques
+from repro.experiments.figure2 import ascii_plot
+from repro.experiments.noise_injection import SweepTiming, run_noise_case, run_noiseless
+from repro.experiments.setup import CONFIG_I, receiver_fixture
+
+
+def main() -> None:
+    timing = SweepTiming(dt=2e-12)
+    vdd = CONFIG_I.vdd
+
+    print("Simulating the Figure 1 testbench (Configuration I)...")
+    noiseless = run_noiseless(CONFIG_I, timing)
+    case = run_noise_case(CONFIG_I, offsets=(-0.1e-9,), timing=timing)
+
+    print(f"  noiseless arrival at in_u : "
+          f"{noiseless.v_in.arrival_time(vdd) * 1e12:7.1f} ps")
+    print(f"  noisy arrival at in_u     : "
+          f"{case.v_in_noisy.arrival_time(vdd) * 1e12:7.1f} ps")
+    print(f"  golden output arrival     : "
+          f"{case.golden_output_arrival * 1e12:7.1f} ps")
+
+    print("\nVictim far-end waveforms (noiseless vs crosstalk-distorted):")
+    t = np.linspace(0.7e-9, 2.2e-9, 160)
+    print(ascii_plot(t, {
+        "clean": np.asarray(noiseless.v_in(t)),
+        "noisy": np.asarray(case.v_in_noisy(t)),
+    }, width=76, height=16))
+
+    print("\nEvaluating all six techniques against the golden simulation...")
+    fixture = receiver_fixture(CONFIG_I, dt=timing.dt)
+    inputs = PropagationInputs(
+        v_in_noisy=case.v_in_noisy,
+        vdd=vdd,
+        v_in_noiseless=noiseless.v_in,
+        v_out_noiseless=noiseless.v_out,
+    )
+    golden, results = evaluate_techniques(fixture, inputs, all_techniques())
+
+    print(f"\n{'Method':7s} {'Gamma_eff 50% (ps)':>19s} {'slew (ps)':>10s} "
+          f"{'delay err (ps)':>15s}")
+    for name, ev in results.items():
+        if ev.failed:
+            print(f"{name:7s} {'-':>19s} {'-':>10s} {'not applicable':>15s}")
+            continue
+        print(f"{name:7s} {ev.ramp.arrival_time() * 1e12:19.1f} "
+              f"{ev.ramp.slew() * 1e12:10.1f} {ev.delay_error * 1e12:+15.1f}")
+    print(f"\ngolden gate delay: {golden.gate_delay * 1e12:.1f} ps "
+          f"(output arrival {golden.output_arrival * 1e12:.1f} ps)")
+
+
+if __name__ == "__main__":
+    main()

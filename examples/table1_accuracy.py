@@ -1,0 +1,48 @@
+"""Regenerate the paper's Table 1 (accuracy comparison).
+
+Sweeps aggressor alignments for Configuration I and II, scores every
+technique against the golden simulation, and prints the paper-style
+Max/Avg table side by side with the paper's numbers.
+
+Run (quick):
+    python examples/table1_accuracy.py --cases 10
+Paper density (slow — a few hours):
+    python examples/table1_accuracy.py --cases 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments.noise_injection import SweepTiming
+from repro.experiments.setup import CONFIG_I, CONFIG_II
+from repro.experiments.table1 import run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cases", type=int, default=10,
+                        help="alignment cases per configuration (paper: 200)")
+    parser.add_argument("--dt", type=float, default=2e-12,
+                        help="simulation step in seconds")
+    parser.add_argument("--polarity", choices=("both", "opposing", "same"),
+                        default="both", help="aggressor transition directions")
+    parser.add_argument("--config", choices=("I", "II", "both"), default="both")
+    args = parser.parse_args()
+
+    timing = SweepTiming(dt=args.dt)
+    configs = {"I": [CONFIG_I], "II": [CONFIG_II],
+               "both": [CONFIG_I, CONFIG_II]}[args.config]
+
+    for config in configs:
+        start = time.time()
+        result = run_table1(config, n_cases=args.cases, timing=timing,
+                            polarity=args.polarity, progress=True)
+        print()
+        print(result.format())
+        print(f"(elapsed {time.time() - start:.0f} s)\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Modeling and Propagation of Noisy Waveforms in
+Static Timing Analysis" (Nazarian, Pedram, Tuncer, Lin, Ajami; DATE 2005).
+
+The package implements the paper's SGDP technique together with every
+substrate it depends on, all from scratch:
+
+* :mod:`repro.core` — waveforms, sensitivity (Eq. 1/2/3), the six
+  equivalent-waveform techniques (P1, P2, LSF3, E4, WLS5, SGDP), and the
+  gate-delay-propagation evaluation harness;
+* :mod:`repro.circuit` — a nonlinear MNA transient simulator (the Hspice
+  stand-in);
+* :mod:`repro.interconnect` — distributed RC lines, capacitive coupling,
+  Elmore delays;
+* :mod:`repro.library` — CMOS inverter cells, NLDM characterisation by
+  simulation, Liberty I/O;
+* :mod:`repro.sta` — a gate-level STA engine with a noise-aware
+  equivalent-waveform propagation mode;
+* :mod:`repro.experiments` — the Figure 1 testbench and one harness per
+  paper artifact (Table 1, §4.2 run-times, Figure 2) plus ablations.
+
+Quickstart::
+
+    from repro.experiments import CONFIG_I, run_table1
+    print(run_table1(CONFIG_I, n_cases=10).format())
+"""
+
+from . import circuit, core, experiments, interconnect, library, sta
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "circuit", "interconnect", "library", "sta", "experiments",
+           "__version__"]

@@ -1,0 +1,101 @@
+"""Small shared helpers used across the :mod:`repro` packages.
+
+These utilities deliberately stay tiny: argument coercion/validation and a
+couple of numeric helpers that several subsystems need but that do not
+belong to any one of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "as_float_array",
+    "require",
+    "is_strictly_increasing",
+    "linear_interp_crossings",
+]
+
+
+def as_float_array(data: Iterable[float], name: str = "array") -> np.ndarray:
+    """Coerce ``data`` to a contiguous 1-D ``float64`` array.
+
+    Parameters
+    ----------
+    data:
+        Any iterable of numbers (list, tuple, ndarray, generator).
+    name:
+        Name used in error messages.
+
+    Raises
+    ------
+    ValueError
+        If the result is not one-dimensional or contains non-finite values.
+    """
+    arr = np.ascontiguousarray(data, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def is_strictly_increasing(arr: np.ndarray) -> bool:
+    """Return ``True`` when ``arr`` is strictly increasing (or has < 2 items)."""
+    if arr.size < 2:
+        return True
+    return bool(np.all(np.diff(arr) > 0.0))
+
+
+def linear_interp_crossings(
+    times: np.ndarray, values: np.ndarray, level: float
+) -> np.ndarray:
+    """Return every time at which the piecewise-linear curve crosses ``level``.
+
+    The curve is the linear interpolation of ``(times, values)``.  Crossings
+    are returned in increasing time order.  A sample exactly equal to
+    ``level`` counts as a crossing only when the curve actually passes
+    through the level there (a tangential touch from one side counts once; a
+    flat segment sitting on the level contributes its start point only), so
+    the result never contains duplicate times.
+
+    Parameters
+    ----------
+    times, values:
+        Sample coordinates; ``times`` must be strictly increasing.
+    level:
+        Voltage level to intersect.
+    """
+    if times.size == 0:
+        return np.empty(0)
+    diff = values - level
+    crossings: list[float] = []
+    # Sign of each sample relative to the level: -1 below, 0 on, +1 above.
+    sign = np.sign(diff)
+    prev_nonzero = 0.0  # sign of the most recent off-level sample
+    for i in range(times.size):
+        s = sign[i]
+        if s == 0.0:
+            # The sample sits exactly on the level.  Record it unless the
+            # previous recorded crossing is this same instant.
+            if not crossings or crossings[-1] != times[i]:
+                # Avoid recording consecutive on-level samples (flat segment).
+                if i == 0 or sign[i - 1] != 0.0:
+                    crossings.append(float(times[i]))
+            continue
+        if prev_nonzero != 0.0 and s != prev_nonzero and i > 0 and sign[i - 1] != 0.0:
+            # Strict sign change across this segment: interpolate.
+            t0, t1 = times[i - 1], times[i]
+            v0, v1 = diff[i - 1], diff[i]
+            t_cross = t0 + (t1 - t0) * (-v0) / (v1 - v0)
+            crossings.append(float(t_cross))
+        prev_nonzero = s
+    return np.asarray(crossings)

@@ -1,0 +1,52 @@
+"""A from-scratch nonlinear circuit simulator (the paper's Hspice stand-in).
+
+Public surface:
+
+* :class:`~repro.circuit.netlist.Circuit` — netlist builder
+* :func:`~repro.circuit.transient.simulate_transient` — trapezoidal/Newton
+  transient analysis
+* :func:`~repro.circuit.dc.dc_operating_point` — DC solve with gmin stepping
+* Source functions (:class:`Dc`, :class:`Pwl`, :class:`RampSource`, …)
+* MOSFET parameter sets (:data:`NMOS_013`, :data:`PMOS_013`)
+"""
+
+from .dc import DcConvergenceError, DcResult, dc_operating_point
+from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
+from .mna import MnaSystem
+from .mosfet import MosfetParams, NMOS_013, PMOS_013, mosfet_eval
+from .netlist import Circuit, GROUND
+from .sources import Dc, Pwl, PulseSource, RampSource, SourceFunction, WaveformSource
+from .transient import (
+    ConvergenceError,
+    TransientOptions,
+    TransientResult,
+    simulate_transient,
+)
+
+__all__ = [
+    "Circuit",
+    "GROUND",
+    "MnaSystem",
+    "MosfetParams",
+    "NMOS_013",
+    "PMOS_013",
+    "mosfet_eval",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Mosfet",
+    "Dc",
+    "Pwl",
+    "RampSource",
+    "PulseSource",
+    "WaveformSource",
+    "SourceFunction",
+    "simulate_transient",
+    "TransientResult",
+    "TransientOptions",
+    "ConvergenceError",
+    "dc_operating_point",
+    "DcResult",
+    "DcConvergenceError",
+]

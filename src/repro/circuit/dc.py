@@ -1,0 +1,129 @@
+"""DC operating-point analysis.
+
+Solves the nonlinear resistive network (capacitors open) with damped
+Newton–Raphson.  Robustness comes from *gmin stepping*: when plain Newton
+fails, a large leak conductance to ground is added and progressively
+relaxed, each stage warm-starting the next — the standard SPICE fallback,
+which handles inverter chains with ill-conditioned intermediate states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .mna import MnaSystem
+from .netlist import Circuit
+
+__all__ = ["DcResult", "dc_operating_point", "DcConvergenceError"]
+
+
+class DcConvergenceError(RuntimeError):
+    """Raised when no operating point is found even with gmin stepping."""
+
+
+@dataclass(frozen=True)
+class DcResult:
+    """Operating point: the raw MNA solution plus name-based access."""
+
+    solution: np.ndarray
+    node_names: tuple[str, ...]
+
+    def voltage(self, node: str) -> float:
+        """Voltage at ``node`` (0 for ground)."""
+        if node == "0":
+            return 0.0
+        return float(self.solution[self.node_names.index(node)])
+
+    def voltages(self) -> dict[str, float]:
+        """All node voltages as a dict."""
+        return {name: float(self.solution[i]) for i, name in enumerate(self.node_names)}
+
+
+def _newton_dc(
+    mna: MnaSystem,
+    extra_gmin: float,
+    rhs_src: np.ndarray,
+    x0: np.ndarray,
+    abstol: float = 1e-9,
+    max_iter: int = 200,
+    v_limit: float = 0.4,
+) -> np.ndarray | None:
+    """Damped Newton for the resistive network; ``None`` on failure."""
+    a_base = mna.g_lin.copy()
+    for i in range(mna.n_nodes):
+        a_base[i, i] += extra_gmin
+    x = x0.copy()
+    if mna.n_mosfets == 0:
+        return np.linalg.solve(a_base, rhs_src)
+    for _ in range(max_iter):
+        a = a_base.copy()
+        rhs = rhs_src.copy()
+        mna.stamp_mosfets(a, rhs, x)
+        try:
+            x_new = np.linalg.solve(a, rhs)
+        except np.linalg.LinAlgError:
+            return None
+        dx = x_new - x
+        dv = dx[: mna.n_nodes]
+        worst = float(np.max(np.abs(dv))) if dv.size else 0.0
+        if worst > v_limit:
+            dx = dx * (v_limit / worst)
+        x = x + dx
+        if worst < abstol:
+            return x
+    return None
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    at_time: float = 0.0,
+    initial_voltages: dict[str, float] | None = None,
+    mna: MnaSystem | None = None,
+) -> DcResult:
+    """Find the DC operating point with sources evaluated at ``at_time``.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist (capacitors are ignored in DC).
+    at_time:
+        Time at which time-varying sources are sampled.
+    initial_voltages:
+        Optional Newton seed, node → volts.  Knowing the logic state of a
+        digital circuit makes convergence immediate.
+    mna:
+        Pre-compiled system (avoids recompilation inside the transient
+        driver).
+
+    Raises
+    ------
+    DcConvergenceError
+        When Newton fails at every gmin-stepping stage.
+    """
+    sys_ = mna or MnaSystem(circuit)
+    rhs = sys_.source_rhs(at_time)
+
+    x0 = np.zeros(sys_.size)
+    for node, v in (initial_voltages or {}).items():
+        idx = sys_.index_of(node)
+        if idx >= 0:
+            x0[idx] = v
+
+    x = _newton_dc(sys_, 0.0, rhs, x0)
+    if x is None:
+        # gmin stepping: solve heavily leaked system first, relax leak.
+        for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 0.0):
+            x = _newton_dc(sys_, gmin, rhs, x0)
+            if x is None:
+                break
+            x0 = x
+        else:
+            x = x0
+        if x is None or _newton_dc(sys_, 0.0, rhs, x0) is None:
+            raise DcConvergenceError(
+                f"no DC operating point found for circuit {circuit.name!r}"
+            )
+        x = _newton_dc(sys_, 0.0, rhs, x0)
+    return DcResult(solution=x, node_names=tuple(sys_.node_names))

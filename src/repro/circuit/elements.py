@@ -1,0 +1,122 @@
+"""Circuit element records.
+
+Elements are plain data: they name their terminals and hold their values.
+All electrical behaviour lives in the analyses (:mod:`repro.circuit.mna`,
+:mod:`repro.circuit.transient`), which read these records and stamp the
+system matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import require
+from .mosfet import MosfetParams
+from .sources import SourceFunction
+
+__all__ = ["Resistor", "Capacitor", "VoltageSource", "CurrentSource", "Mosfet", "Element"]
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A linear resistor between ``node_a`` and ``node_b``."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        require(self.resistance > 0.0, f"{self.name}: resistance must be positive")
+
+    @property
+    def conductance(self) -> float:
+        """1 / R."""
+        return 1.0 / self.resistance
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """A linear capacitor between ``node_a`` and ``node_b``."""
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        require(self.capacitance > 0.0, f"{self.name}: capacitance must be positive")
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_a, self.node_b)
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """An ideal voltage source; ``node_pos`` is held at ``source(t)`` above
+    ``node_neg``.  Adds one branch-current unknown to the MNA system."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    source: SourceFunction
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """An ideal current source pushing ``source(t)`` amperes from
+    ``node_pos`` through the source into ``node_neg`` (SPICE convention:
+    positive current flows out of the positive terminal externally)."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    source: SourceFunction
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.node_pos, self.node_neg)
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A MOSFET instance.
+
+    The bulk terminal is implicit (tied to the appropriate rail by the
+    model; body effect is not modelled).  Fixed linear capacitances derived
+    from geometry — gate-to-source, gate-to-drain (Miller) and
+    drain-to-bulk — are added by the netlist builder as explicit
+    :class:`Capacitor` elements so all analyses see them uniformly.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    params: MosfetParams
+    w: float
+    length: float
+
+    def __post_init__(self) -> None:
+        require(self.w > 0.0 and self.length > 0.0, f"{self.name}: W, L must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Transconductance factor ``kp · W / L``."""
+        return self.params.beta(self.w, self.length)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return (self.drain, self.gate, self.source)
+
+
+Element = Resistor | Capacitor | VoltageSource | CurrentSource | Mosfet

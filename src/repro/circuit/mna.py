@@ -1,0 +1,196 @@
+"""Modified nodal analysis (MNA) assembly.
+
+The unknown vector is ``x = [node voltages | voltage-source branch
+currents]``.  :class:`MnaSystem` compiles a :class:`~repro.circuit.netlist.Circuit`
+into the constant matrices and per-device arrays the analyses need:
+
+* ``g_lin`` — conductances of resistors, voltage-source incidence rows and
+  a small ``gmin`` to ground on every node diagonal,
+* ``cap_*`` — capacitor terminal indices and values (companion models are
+  applied by the transient analysis, which owns the time step),
+* MOSFET terminal-index and parameter arrays for vectorised evaluation.
+
+Ground is index ``-1`` throughout; stamping helpers skip it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import require
+from .mosfet import mosfet_eval
+from .netlist import GROUND, Circuit
+
+__all__ = ["MnaSystem"]
+
+#: Conductance to ground added on every node diagonal for matrix robustness.
+DEFAULT_GMIN = 1e-9
+
+
+class MnaSystem:
+    """Compiled MNA view of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to compile.
+    gmin:
+        Leak conductance to ground on every node (default ``1e-9`` S).
+    """
+
+    def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
+        require(gmin >= 0.0, "gmin must be non-negative")
+        self.circuit = circuit
+        self.node_names = list(circuit.nodes)
+        self.node_index = {name: i for i, name in enumerate(self.node_names)}
+        self.n_nodes = len(self.node_names)
+        self.n_branches = len(circuit.vsources)
+        self.size = self.n_nodes + self.n_branches
+        require(self.size > 0, "empty circuit")
+        self.branch_index = {v.name: self.n_nodes + k for k, v in enumerate(circuit.vsources)}
+
+        # --- constant linear conductance matrix -----------------------
+        g = np.zeros((self.size, self.size))
+        for i in range(self.n_nodes):
+            g[i, i] += gmin
+        for r in circuit.resistors:
+            self._stamp_conductance(g, self.index_of(r.node_a), self.index_of(r.node_b),
+                                    r.conductance)
+        for k, v in enumerate(circuit.vsources):
+            row = self.n_nodes + k
+            ip = self.index_of(v.node_pos)
+            im = self.index_of(v.node_neg)
+            if ip >= 0:
+                g[ip, row] += 1.0
+                g[row, ip] += 1.0
+            if im >= 0:
+                g[im, row] -= 1.0
+                g[row, im] -= 1.0
+        self.g_lin = g
+
+        # --- capacitors (terminal indices + values) -------------------
+        self.cap_i = np.array([self.index_of(c.node_a) for c in circuit.capacitors], dtype=int)
+        self.cap_j = np.array([self.index_of(c.node_b) for c in circuit.capacitors], dtype=int)
+        self.cap_c = np.array([c.capacitance for c in circuit.capacitors], dtype=float)
+        self.n_caps = self.cap_c.size
+
+        # --- MOSFET device arrays --------------------------------------
+        mos = circuit.mosfets
+        self.mos_d = np.array([self.index_of(m.drain) for m in mos], dtype=int)
+        self.mos_g = np.array([self.index_of(m.gate) for m in mos], dtype=int)
+        self.mos_s = np.array([self.index_of(m.source) for m in mos], dtype=int)
+        self.mos_pol = np.array([m.params.polarity for m in mos], dtype=int)
+        self.mos_beta = np.array([m.beta for m in mos], dtype=float)
+        self.mos_vth = np.array([m.params.vth for m in mos], dtype=float)
+        self.mos_lam = np.array([m.params.lam for m in mos], dtype=float)
+        self.n_mosfets = len(mos)
+
+        # --- sources ---------------------------------------------------
+        self._vsource_fns = [v.source for v in circuit.vsources]
+        self._isource_stamps = [
+            (self.index_of(i.node_pos), self.index_of(i.node_neg), i.source)
+            for i in circuit.isources
+        ]
+
+        # --- precomputed scatter indices for vectorised MOSFET stamping
+        # Six Jacobian entries per device: rows (d,d,d,s,s,s) against
+        # columns (d,g,s,d,g,s), the source row negated.
+        if self.n_mosfets:
+            rows = np.stack([self.mos_d, self.mos_d, self.mos_d,
+                             self.mos_s, self.mos_s, self.mos_s])
+            cols = np.stack([self.mos_d, self.mos_g, self.mos_s,
+                             self.mos_d, self.mos_g, self.mos_s])
+            valid = (rows >= 0) & (cols >= 0)
+            self._mos_flat = (rows * self.size + cols)[valid]
+            self._mos_valid = valid
+            self._mos_sign = np.array([1.0, 1.0, 1.0, -1.0, -1.0, -1.0])[:, None]
+            self._mos_d_ok = self.mos_d >= 0
+            self._mos_s_ok = self.mos_s >= 0
+
+    # ------------------------------------------------------------------
+    def index_of(self, node: str) -> int:
+        """MNA index of a node name; ``-1`` for ground."""
+        if node == GROUND:
+            return -1
+        return self.node_index[node]
+
+    @staticmethod
+    def _stamp_conductance(a: np.ndarray, i: int, j: int, g: float) -> None:
+        """Stamp a two-terminal conductance between indices ``i`` and ``j``."""
+        if i >= 0:
+            a[i, i] += g
+        if j >= 0:
+            a[j, j] += g
+        if i >= 0 and j >= 0:
+            a[i, j] -= g
+            a[j, i] -= g
+
+    def source_rhs(self, t: float) -> np.ndarray:
+        """Right-hand side from independent sources at time ``t``."""
+        rhs = np.zeros(self.size)
+        for k, fn in enumerate(self._vsource_fns):
+            rhs[self.n_nodes + k] = fn.value_at(t)
+        for ip, im, fn in self._isource_stamps:
+            cur = fn.value_at(t)
+            if ip >= 0:
+                rhs[ip] -= cur
+            if im >= 0:
+                rhs[im] += cur
+        return rhs
+
+    def source_breakpoints(self) -> np.ndarray:
+        """Union of all source corner times (sorted, unique)."""
+        pts: list[float] = []
+        for fn in self._vsource_fns:
+            pts.extend(fn.breakpoints)
+        for _, _, fn in self._isource_stamps:
+            pts.extend(fn.breakpoints)
+        return np.unique(np.asarray(pts)) if pts else np.empty(0)
+
+    def node_voltage(self, x: np.ndarray, index: int) -> float:
+        """Voltage at MNA index ``index`` in solution ``x`` (0 for ground)."""
+        return 0.0 if index < 0 else float(x[index])
+
+    def _terminal_voltages(self, x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Gather node voltages for an index array, 0.0 where ground."""
+        v = np.zeros(idx.size)
+        mask = idx >= 0
+        v[mask] = x[idx[mask]]
+        return v
+
+    def stamp_mosfets(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
+        """Stamp Newton-linearised MOSFETs at operating point ``x``.
+
+        Adds the Jacobian of the drain currents to ``a`` and the companion
+        current terms to ``rhs`` so that solving ``a · x_new = rhs`` performs
+        one Newton step of the nonlinear system.
+        """
+        if self.n_mosfets == 0:
+            return
+        vd = self._terminal_voltages(x, self.mos_d)
+        vg = self._terminal_voltages(x, self.mos_g)
+        vs = self._terminal_voltages(x, self.mos_s)
+        ids, did_dvd, did_dvg, did_dvs = mosfet_eval(
+            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
+        )
+        # Equivalent Newton current: rhs gets J·x0 - ids0 at the drain,
+        # the negative at the source.
+        ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
+        vals = self._mos_sign * np.stack(
+            [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs]
+        )
+        np.add.at(a.reshape(-1), self._mos_flat, vals[self._mos_valid])
+        np.add.at(rhs, self.mos_d[self._mos_d_ok], ieq[self._mos_d_ok])
+        np.add.at(rhs, self.mos_s[self._mos_s_ok], -ieq[self._mos_s_ok])
+
+    def mosfet_currents(self, x: np.ndarray) -> np.ndarray:
+        """Drain currents of every MOSFET at solution ``x`` (amperes)."""
+        if self.n_mosfets == 0:
+            return np.empty(0)
+        vd = self._terminal_voltages(x, self.mos_d)
+        vg = self._terminal_voltages(x, self.mos_g)
+        vs = self._terminal_voltages(x, self.mos_s)
+        ids, _, _, _ = mosfet_eval(
+            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
+        )
+        return ids

@@ -1,0 +1,183 @@
+"""Circuit construction: a named-node netlist builder.
+
+A :class:`Circuit` collects elements against string node names.  The ground
+node is ``"0"`` (``"gnd"`` is accepted as an alias).  Builders for the
+common composites (MOSFET with parasitics, CMOS inverter) live here so
+every analysis sees only primitive elements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .._util import require
+from .elements import Capacitor, CurrentSource, Element, Mosfet, Resistor, VoltageSource
+from .mosfet import MosfetParams, NMOS_013, PMOS_013
+from .sources import SourceFunction, as_source
+
+__all__ = ["Circuit", "GROUND"]
+
+GROUND = "0"
+_GROUND_ALIASES = {"0", "gnd", "GND", "vss", "VSS"}
+
+
+def _canon(node: str) -> str:
+    """Canonicalise a node name (fold ground aliases)."""
+    return GROUND if node in _GROUND_ALIASES else node
+
+
+class Circuit:
+    """A flat netlist of primitive elements.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in diagnostics.
+
+    Examples
+    --------
+    >>> c = Circuit("divider")
+    >>> _ = c.vsource("Vin", "in", "0", 1.0)
+    >>> _ = c.resistor("R1", "in", "mid", 1e3)
+    >>> _ = c.resistor("R2", "mid", "0", 1e3)
+    >>> sorted(c.nodes)
+    ['in', 'mid']
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.vsources: list[VoltageSource] = []
+        self.isources: list[CurrentSource] = []
+        self.mosfets: list[Mosfet] = []
+        self._names: set[str] = set()
+        self._nodes: list[str] = []
+        self._node_set: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Node / name bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in first-use order."""
+        return list(self._nodes)
+
+    @property
+    def elements(self) -> list[Element]:
+        """Every element in the circuit."""
+        return [*self.resistors, *self.capacitors, *self.vsources,
+                *self.isources, *self.mosfets]
+
+    def _register_name(self, name: str) -> None:
+        require(name not in self._names, f"duplicate element name {name!r}")
+        self._names.add(name)
+
+    def _touch_nodes(self, nodes: Iterable[str]) -> None:
+        for node in nodes:
+            if node != GROUND and node not in self._node_set:
+                self._node_set.add(node)
+                self._nodes.append(node)
+
+    def has_node(self, node: str) -> bool:
+        """True if ``node`` is ground or appears in the netlist."""
+        node = _canon(node)
+        return node == GROUND or node in self._node_set
+
+    # ------------------------------------------------------------------
+    # Primitive elements
+    # ------------------------------------------------------------------
+    def resistor(self, name: str, node_a: str, node_b: str, resistance: float) -> Resistor:
+        """Add a resistor and return it."""
+        self._register_name(name)
+        r = Resistor(name, _canon(node_a), _canon(node_b), resistance)
+        require(r.node_a != r.node_b, f"{name}: resistor terminals must differ")
+        self.resistors.append(r)
+        self._touch_nodes(r.nodes)
+        return r
+
+    def capacitor(self, name: str, node_a: str, node_b: str, capacitance: float) -> Capacitor:
+        """Add a capacitor and return it."""
+        self._register_name(name)
+        c = Capacitor(name, _canon(node_a), _canon(node_b), capacitance)
+        require(c.node_a != c.node_b, f"{name}: capacitor terminals must differ")
+        self.capacitors.append(c)
+        self._touch_nodes(c.nodes)
+        return c
+
+    def vsource(self, name: str, node_pos: str, node_neg: str,
+                source: "float | SourceFunction") -> VoltageSource:
+        """Add an ideal voltage source (DC number, PWL pairs, SourceFunction
+        or Waveform accepted) and return it."""
+        self._register_name(name)
+        v = VoltageSource(name, _canon(node_pos), _canon(node_neg), as_source(source))
+        self.vsources.append(v)
+        self._touch_nodes(v.nodes)
+        return v
+
+    def isource(self, name: str, node_pos: str, node_neg: str,
+                source: "float | SourceFunction") -> CurrentSource:
+        """Add an ideal current source and return it."""
+        self._register_name(name)
+        i = CurrentSource(name, _canon(node_pos), _canon(node_neg), as_source(source))
+        self.isources.append(i)
+        self._touch_nodes(i.nodes)
+        return i
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str,
+               params: MosfetParams, w: float, length: float,
+               with_parasitics: bool = True) -> Mosfet:
+        """Add a MOSFET, optionally with its geometric parasitic capacitors.
+
+        Parasitics (as explicit linear capacitors):
+
+        * ``Cgs = 2/3 · Cox·W·L`` gate-to-source,
+        * ``Cgd = 1/3 · Cox·W·L`` gate-to-drain (Miller coupling),
+        * ``Cdb = cj · W`` drain-to-ground.
+        """
+        self._register_name(name)
+        m = Mosfet(name, _canon(drain), _canon(gate), _canon(source), params, w, length)
+        self.mosfets.append(m)
+        self._touch_nodes(m.nodes)
+        if with_parasitics:
+            cg = params.gate_capacitance(w, length)
+            cdb = params.drain_capacitance(w)
+            if m.gate != m.source:
+                self.capacitor(f"{name}.cgs", m.gate, m.source, (2.0 / 3.0) * cg)
+            if m.gate != m.drain:
+                self.capacitor(f"{name}.cgd", m.gate, m.drain, (1.0 / 3.0) * cg)
+            if m.drain != GROUND:
+                self.capacitor(f"{name}.cdb", m.drain, GROUND, cdb)
+        return m
+
+    # ------------------------------------------------------------------
+    # Composite builders
+    # ------------------------------------------------------------------
+    def inverter(self, name: str, inp: str, out: str, vdd_node: str,
+                 wn: float, wp: float, length: float = 0.13e-6,
+                 nmos_params: MosfetParams = NMOS_013,
+                 pmos_params: MosfetParams = PMOS_013) -> None:
+        """Add a static CMOS inverter between ``inp`` and ``out``.
+
+        The PMOS source ties to ``vdd_node``; the NMOS source to ground.
+        """
+        self.mosfet(f"{name}.mp", drain=out, gate=inp, source=vdd_node,
+                    params=pmos_params, w=wp, length=length)
+        self.mosfet(f"{name}.mn", drain=out, gate=inp, source=GROUND,
+                    params=nmos_params, w=wn, length=length)
+
+    def stats(self) -> dict[str, int]:
+        """Element and node counts, for reports and sanity checks."""
+        return {
+            "nodes": len(self._nodes),
+            "resistors": len(self.resistors),
+            "capacitors": len(self.capacitors),
+            "vsources": len(self.vsources),
+            "isources": len(self.isources),
+            "mosfets": len(self.mosfets),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"Circuit({self.name!r}, nodes={s['nodes']}, R={s['resistors']}, "
+                f"C={s['capacitors']}, V={s['vsources']}, M={s['mosfets']})")

@@ -1,0 +1,150 @@
+"""Time-domain stimulus functions for independent sources.
+
+A source function maps time (scalar or array) to a value (volts or
+amperes).  Besides evaluation, sources expose their *breakpoints* — times
+at which the waveform has a corner — so analyses can align time steps with
+them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from .._util import as_float_array, is_strictly_increasing, require
+from ..core.waveform import Waveform
+
+__all__ = ["SourceFunction", "Dc", "Pwl", "RampSource", "PulseSource", "WaveformSource"]
+
+
+class SourceFunction:
+    """Base class for time-dependent source values."""
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times at which the source has slope discontinuities."""
+        return ()
+
+    def value_at(self, t: float) -> float:
+        """Scalar evaluation helper."""
+        return float(self(t))
+
+
+class Dc(SourceFunction):
+    """A constant source."""
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        if np.isscalar(t):
+            return self.value
+        return np.full_like(np.asarray(t, dtype=np.float64), self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Dc({self.value})"
+
+
+class Pwl(SourceFunction):
+    """Piecewise-linear source defined by ``(time, value)`` corners.
+
+    Values clamp to the first/last corner outside the defined window,
+    matching SPICE PWL semantics.
+    """
+
+    def __init__(self, points: Iterable[tuple[float, float]]):
+        pts = sorted((float(t), float(v)) for t, v in points)
+        require(len(pts) >= 1, "PWL needs at least one point")
+        self._t = as_float_array([p[0] for p in pts], "pwl times")
+        self._v = as_float_array([p[1] for p in pts], "pwl values")
+        require(is_strictly_increasing(self._t), "PWL times must be strictly increasing")
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        out = np.interp(t, self._t, self._v)
+        if np.isscalar(t):
+            return float(out)
+        return out
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        return tuple(self._t.tolist())
+
+    @property
+    def points(self) -> list[tuple[float, float]]:
+        """The defining corners as ``(time, value)`` pairs."""
+        return list(zip(self._t.tolist(), self._v.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pwl({len(self._t)} points)"
+
+
+class RampSource(Pwl):
+    """A saturated ramp between two levels — the standard STA stimulus.
+
+    Parameters
+    ----------
+    t_start:
+        Time the transition leaves ``v_from``.
+    slew:
+        10–90 transition time (scaled internally to the full swing).
+    v_from, v_to:
+        Initial and final levels.
+    """
+
+    def __init__(self, t_start: float, slew: float, v_from: float, v_to: float,
+                 low_frac: float = 0.1, high_frac: float = 0.9):
+        require(slew > 0.0, "slew must be positive")
+        duration = slew / (high_frac - low_frac)
+        super().__init__([(t_start, v_from), (t_start + duration, v_to)])
+        self.t_start = float(t_start)
+        self.duration = float(duration)
+
+
+class PulseSource(Pwl):
+    """A trapezoidal pulse: base → peak → base."""
+
+    def __init__(self, t_start: float, rise: float, width: float, fall: float,
+                 v_base: float, v_peak: float):
+        require(rise > 0 and fall > 0 and width >= 0, "invalid pulse timing")
+        t1 = t_start + rise
+        t2 = t1 + width
+        t3 = t2 + fall
+        super().__init__([(t_start, v_base), (t1, v_peak), (t2, v_peak), (t3, v_base)])
+
+
+class WaveformSource(SourceFunction):
+    """Drive a source with an arbitrary sampled :class:`Waveform`."""
+
+    def __init__(self, waveform: Waveform):
+        self.waveform = waveform
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        return self.waveform(t)
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        # Every sample is a potential corner of the piecewise-linear curve.
+        return tuple(self.waveform.times.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"WaveformSource({self.waveform!r})"
+
+
+def as_source(value: "float | SourceFunction | Waveform | Sequence") -> SourceFunction:
+    """Coerce a user-supplied stimulus spec to a :class:`SourceFunction`.
+
+    Accepts a number (DC), a :class:`SourceFunction`, a
+    :class:`~repro.core.waveform.Waveform`, or an iterable of ``(t, v)``
+    pairs (PWL).
+    """
+    if isinstance(value, SourceFunction):
+        return value
+    if isinstance(value, Waveform):
+        return WaveformSource(value)
+    if isinstance(value, (int, float)):
+        return Dc(float(value))
+    return Pwl(value)

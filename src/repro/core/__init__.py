@@ -1,0 +1,37 @@
+"""Core contribution of the paper: waveforms, sensitivity, and the
+equivalent-waveform techniques (P1, P2, LSF3, E4, WLS5, SGDP)."""
+
+from .metrics import ErrorStats, error_stats, format_ps
+from .ramp import SaturatedRamp
+from .sensitivity import NonOverlappingTransitionsError, SensitivityMap, compute_sensitivity
+from .waveform import TransitionPolarity, Waveform
+
+__all__ = [
+    "Waveform",
+    "TransitionPolarity",
+    "SaturatedRamp",
+    "SensitivityMap",
+    "compute_sensitivity",
+    "NonOverlappingTransitionsError",
+    "GateFixture",
+    "GateOutput",
+    "TechniqueEvaluation",
+    "evaluate_techniques",
+    "ErrorStats",
+    "error_stats",
+    "format_ps",
+]
+
+_PROPAGATION_NAMES = {"GateFixture", "GateOutput", "TechniqueEvaluation",
+                      "evaluate_techniques"}
+
+
+def __getattr__(name: str):
+    # repro.core.propagation needs repro.circuit, which in turn needs
+    # repro.core.waveform; importing it lazily breaks that cycle while
+    # keeping `from repro.core import GateFixture` working.
+    if name in _PROPAGATION_NAMES:
+        from . import propagation
+
+        return getattr(propagation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,77 @@
+"""Error statistics for technique comparisons (Table 1's Max / Avg columns).
+
+The paper reports, per technique and configuration, the maximum and
+average absolute gate-delay error over all noise-injection cases.  This
+module provides those statistics plus a few diagnostics (signed bias, RMS,
+failure counting) that the benchmark reports include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+
+__all__ = ["ErrorStats", "error_stats", "format_ps"]
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary of a set of signed timing errors (seconds).
+
+    Attributes
+    ----------
+    count:
+        Number of successful cases.
+    failures:
+        Number of cases where the technique was not applicable.
+    max_abs / mean_abs / rms:
+        Magnitude statistics (the paper's Max / Avg are the first two).
+    mean_signed:
+        Bias: positive = pessimistic on average.
+    """
+
+    count: int
+    failures: int
+    max_abs: float
+    mean_abs: float
+    rms: float
+    mean_signed: float
+
+    @property
+    def max_ps(self) -> float:
+        """Max |error| in picoseconds."""
+        return self.max_abs * 1e12
+
+    @property
+    def avg_ps(self) -> float:
+        """Mean |error| in picoseconds."""
+        return self.mean_abs * 1e12
+
+
+def error_stats(errors: list[float | None]) -> ErrorStats:
+    """Aggregate signed errors; ``None`` entries count as failures."""
+    ok = np.asarray([e for e in errors if e is not None], dtype=np.float64)
+    failures = sum(1 for e in errors if e is None)
+    require(ok.size + failures == len(errors), "inconsistent error list")
+    if ok.size == 0:
+        return ErrorStats(count=0, failures=failures, max_abs=float("nan"),
+                          mean_abs=float("nan"), rms=float("nan"),
+                          mean_signed=float("nan"))
+    return ErrorStats(
+        count=int(ok.size),
+        failures=failures,
+        max_abs=float(np.max(np.abs(ok))),
+        mean_abs=float(np.mean(np.abs(ok))),
+        rms=float(np.sqrt(np.mean(ok * ok))),
+        mean_signed=float(np.mean(ok)),
+    )
+
+
+def format_ps(seconds: float) -> str:
+    """Render a time in picoseconds with one decimal, as the paper does."""
+    if not np.isfinite(seconds):
+        return "  n/a"
+    return f"{seconds * 1e12:5.1f}"

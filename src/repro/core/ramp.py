@@ -1,0 +1,176 @@
+"""Saturated linear ramps — the equivalent waveforms Γ_eff of the paper.
+
+Every technique in :mod:`repro.core.techniques` reduces a noisy waveform to
+a line ``v(t) = a·t + b`` clamped to the supply rails ``[0, Vdd]``.  This
+module provides that representation together with the conversions STA
+needs: (arrival time, slew) ↔ (a, b), sampling to a :class:`Waveform`, and
+export as a piecewise-linear stimulus for the circuit simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import require
+from .waveform import TransitionPolarity, Waveform
+
+__all__ = ["SaturatedRamp"]
+
+
+@dataclass(frozen=True)
+class SaturatedRamp:
+    """The equivalent linear waveform Γ_eff: ``clamp(a·t + b, 0, vdd)``.
+
+    Attributes
+    ----------
+    a:
+        Slope in V/s.  Positive for a rising equivalent waveform, negative
+        for falling.  Must be non-zero.
+    b:
+        Intercept in volts (value the un-clamped line takes at ``t = 0``).
+    vdd:
+        Supply voltage defining the clamping rails.
+    """
+
+    a: float
+    b: float
+    vdd: float
+
+    def __post_init__(self) -> None:
+        require(self.vdd > 0.0, "vdd must be positive")
+        require(self.a != 0.0, "ramp slope must be non-zero")
+        require(np.isfinite(self.a) and np.isfinite(self.b), "ramp coefficients must be finite")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrival_slew(
+        cls,
+        arrival: float,
+        slew: float,
+        vdd: float,
+        rising: bool = True,
+        low_frac: float = 0.1,
+        high_frac: float = 0.9,
+        arrival_frac: float = 0.5,
+    ) -> "SaturatedRamp":
+        """Build the ramp with the given STA summary.
+
+        Parameters
+        ----------
+        arrival:
+            Time at which the ramp crosses ``arrival_frac * vdd``.
+        slew:
+            ``low_frac``→``high_frac`` transition time (must be > 0).
+        rising:
+            Transition direction.
+        """
+        require(slew > 0.0, "slew must be positive")
+        slope = (high_frac - low_frac) * vdd / slew
+        if not rising:
+            slope = -slope
+        # Line passes through (arrival, arrival_frac * vdd).
+        intercept = arrival_frac * vdd - slope * arrival
+        return cls(a=slope, b=intercept, vdd=vdd)
+
+    @classmethod
+    def from_points(cls, t0: float, v0: float, t1: float, v1: float, vdd: float) -> "SaturatedRamp":
+        """Build the ramp through two points of the un-clamped line."""
+        require(t1 != t0, "the two points must have distinct times")
+        slope = (v1 - v0) / (t1 - t0)
+        return cls(a=slope, b=v0 - slope * t0, vdd=vdd)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def rising(self) -> bool:
+        """True for a rising equivalent transition."""
+        return self.a > 0.0
+
+    @property
+    def polarity(self) -> str:
+        """:class:`TransitionPolarity` value of the transition."""
+        return TransitionPolarity.RISING if self.rising else TransitionPolarity.FALLING
+
+    def time_at(self, v: float) -> float:
+        """Time at which the un-clamped line reaches voltage ``v``."""
+        return (v - self.b) / self.a
+
+    def arrival_time(self, frac: float = 0.5) -> float:
+        """Crossing time of ``frac * vdd`` (the STA arrival time)."""
+        return self.time_at(frac * self.vdd)
+
+    def slew(self, low_frac: float = 0.1, high_frac: float = 0.9) -> float:
+        """Transition time between the measurement thresholds (positive)."""
+        return abs((high_frac - low_frac) * self.vdd / self.a)
+
+    @property
+    def t_low_rail(self) -> float:
+        """Time at which the clamped ramp leaves/reaches the 0 V rail."""
+        return self.time_at(0.0)
+
+    @property
+    def t_high_rail(self) -> float:
+        """Time at which the clamped ramp leaves/reaches the Vdd rail."""
+        return self.time_at(self.vdd)
+
+    @property
+    def t_begin(self) -> float:
+        """Time the clamped transition starts (earlier rail departure)."""
+        return min(self.t_low_rail, self.t_high_rail)
+
+    @property
+    def t_finish(self) -> float:
+        """Time the clamped transition completes."""
+        return max(self.t_low_rail, self.t_high_rail)
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the clamped ramp at time(s) ``t``."""
+        v = self.a * np.asarray(t, dtype=np.float64) + self.b
+        out = np.clip(v, 0.0, self.vdd)
+        if np.isscalar(t):
+            return float(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_waveform(self, t_start: float, t_end: float, n: int | None = None) -> Waveform:
+        """Sample the clamped ramp into a :class:`Waveform` on ``[t_start, t_end]``.
+
+        With ``n`` unset, the exact piecewise-linear shape is returned
+        (four break points); otherwise ``n`` uniform samples are used.
+        """
+        require(t_end > t_start, "t_end must exceed t_start")
+        if n is not None:
+            times = np.linspace(t_start, t_end, n)
+            return Waveform(times, np.asarray(self(times)))
+        knots = [t_start, t_end]
+        for t in (self.t_begin, self.t_finish):
+            if t_start < t < t_end:
+                knots.append(t)
+        times = np.unique(np.asarray(knots))
+        return Waveform(times, np.asarray(self(times)))
+
+    def to_pwl(self, t_start: float, t_end: float) -> list[tuple[float, float]]:
+        """Break points of the clamped ramp as ``(time, voltage)`` pairs.
+
+        Suitable for a piecewise-linear voltage source in the circuit
+        simulator.
+        """
+        w = self.to_waveform(t_start, t_end)
+        return [(float(t), float(v)) for t, v in zip(w.times, w.values)]
+
+    def shifted(self, dt: float) -> "SaturatedRamp":
+        """Return the ramp translated by ``dt`` in time."""
+        return SaturatedRamp(a=self.a, b=self.b - self.a * dt, vdd=self.vdd)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SaturatedRamp({'rising' if self.rising else 'falling'}, "
+            f"arrival={self.arrival_time():.4e}s, slew={self.slew():.4e}s)"
+        )

@@ -1,0 +1,54 @@
+"""The equivalent-waveform techniques of the paper.
+
+Five conventional techniques (P1, P2, LSF3, E4, WLS5 — §2) and the
+proposed SGDP (§3).  All share one interface: build a
+:class:`~repro.core.ramp.SaturatedRamp` Γ_eff from
+:class:`~repro.core.techniques.base.PropagationInputs`.
+"""
+
+from .base import (
+    DEFAULT_SAMPLE_COUNT,
+    DegenerateFitError,
+    PropagationInputs,
+    Technique,
+    TechniqueError,
+    TechniqueNotApplicableError,
+    fit_line_weighted,
+    register_technique,
+    registered_technique_names,
+    technique_by_name,
+)
+from .energy import E4
+from .least_squares import Lsf3
+from .point_based import P1, P2
+from .sgdp import Sgdp
+from .weighted_ls import Wls5
+
+__all__ = [
+    "Technique",
+    "PropagationInputs",
+    "TechniqueError",
+    "DegenerateFitError",
+    "TechniqueNotApplicableError",
+    "fit_line_weighted",
+    "register_technique",
+    "technique_by_name",
+    "registered_technique_names",
+    "DEFAULT_SAMPLE_COUNT",
+    "P1",
+    "P2",
+    "Lsf3",
+    "E4",
+    "Wls5",
+    "Sgdp",
+    "all_techniques",
+    "PAPER_TECHNIQUE_ORDER",
+]
+
+#: Row order of the paper's Table 1.
+PAPER_TECHNIQUE_ORDER = ("P1", "P2", "LSF3", "E4", "WLS5", "SGDP")
+
+
+def all_techniques() -> list[Technique]:
+    """One instance of every technique, in the paper's Table 1 order."""
+    return [technique_by_name(name) for name in PAPER_TECHNIQUE_ORDER]

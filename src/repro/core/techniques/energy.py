@@ -1,0 +1,55 @@
+"""E4 — the energy/area-matching technique (paper §2.3).
+
+Inspired by the Elmore-delay idea, E4 passes the equivalent ramp through
+the latest 0.5·Vdd crossing of the noisy waveform and chooses the slope so
+that the area enclosed between the ramp and the horizontal lines
+``v1 = 0.5·Vdd`` and ``v2 = Vdd`` equals the area enclosed by the noisy
+waveform and the same two lines.
+
+For a rising ramp with slope ``a`` the enclosed area is the triangle
+``(0.5·Vdd)² / (2a)`` independent of the anchor, so the slope follows in
+closed form from the measured waveform area.  Every re-crossing of the
+0.5·Vdd level adds area, which slows the equivalent slew — the paper's
+explanation of E4's pessimism on very noisy waveforms.
+"""
+
+from __future__ import annotations
+
+from ..ramp import SaturatedRamp
+from ..waveform import Waveform
+from .base import DegenerateFitError, PropagationInputs, Technique, register_technique
+
+__all__ = ["E4"]
+
+
+@register_technique
+class E4(Technique):
+    """Area-matching (Elmore-inspired) technique."""
+
+    name = "E4"
+
+    def equivalent_waveform(self, inputs: PropagationInputs) -> SaturatedRamp:
+        """Anchor at the latest noisy 0.5·Vdd crossing; match the upper-band
+        area between the first 0.5·Vdd crossing and the end of the record."""
+        vdd = inputs.vdd
+        rising = inputs.rising
+        wave: Waveform = inputs.v_in_noisy
+        if not rising:
+            # Mirror a falling waveform into the rising frame; area and
+            # anchor are symmetric about Vdd/2.
+            wave = wave.reversed_polarity(vdd)
+
+        half = 0.5 * vdd
+        t_first_half = wave.cross_time(half, which="first")
+        area = wave.band_area(v_low=half, v_high=vdd, t0=t_first_half, t1=wave.t_end)
+        if area <= 0.0:
+            raise DegenerateFitError(f"{self.name}: non-positive band area {area:.3e}")
+        slope = half * half / (2.0 * area)
+        if not rising:
+            slope = -slope
+        return SaturatedRamp.from_arrival_slew(
+            arrival=inputs.anchor_time(),
+            slew=abs(0.8 * vdd / slope),
+            vdd=vdd,
+            rising=rising,
+        )

@@ -1,0 +1,43 @@
+"""LSF3 — plain least-squares waveform matching (paper §2.2).
+
+Fits the line that minimises the sum of squared differences to the noisy
+waveform over its critical region.  As the paper notes, this is "simply a
+mathematical approach to match a waveform without any consideration of the
+logic gate behavior": distortion near the rails counts as much as
+distortion near the switching threshold, so the fit can be pulled either
+optimistic or pessimistic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ramp import SaturatedRamp
+from .base import (
+    DegenerateFitError,
+    PropagationInputs,
+    Technique,
+    fit_line_weighted,
+    register_technique,
+)
+
+__all__ = ["Lsf3"]
+
+
+@register_technique
+class Lsf3(Technique):
+    """Unweighted least-squares fit over the noisy critical region."""
+
+    name = "LSF3"
+
+    def equivalent_waveform(self, inputs: PropagationInputs) -> SaturatedRamp:
+        """Fit ``a·t + b`` to P samples of the noisy waveform."""
+        t = inputs.sample_times()
+        v = np.asarray(inputs.v_in_noisy(t))
+        a, b = fit_line_weighted(t, v)
+        if (a > 0) != inputs.rising or a == 0.0:
+            raise DegenerateFitError(
+                f"{self.name}: fitted slope {a:.3e} V/s contradicts the "
+                f"{'rising' if inputs.rising else 'falling'} transition"
+            )
+        return SaturatedRamp(a=a, b=b, vdd=inputs.vdd)

@@ -1,0 +1,56 @@
+"""Point-based techniques P1 and P2 (paper §2.1).
+
+Both anchor the equivalent ramp's 0.5·Vdd point at the *latest* 0.5·Vdd
+crossing of the noisy waveform.  They differ in the slew:
+
+* **P1** pretends the waveform was never distorted: it takes the
+  10–90% transition time of the *noiseless* waveform.
+* **P2** measures the noisy waveform from its earliest entry into the
+  transition band to its latest exit — noise bumps stretch this, making
+  P2 slews pessimistic, while the shared anchor can be pessimistic for
+  both.
+"""
+
+from __future__ import annotations
+
+from ..ramp import SaturatedRamp
+from .base import PropagationInputs, Technique, register_technique
+
+__all__ = ["P1", "P2"]
+
+
+@register_technique
+class P1(Technique):
+    """Noiseless-slew point technique."""
+
+    name = "P1"
+
+    def equivalent_waveform(self, inputs: PropagationInputs) -> SaturatedRamp:
+        """Anchor at the latest noisy 0.5·Vdd crossing; slew of the
+        noiseless waveform (first-entry to first-exit of the 10–90 band)."""
+        v_in_noiseless, _ = inputs.require_noiseless(self.name)
+        slew = v_in_noiseless.slew(inputs.vdd, mode="clean")
+        return SaturatedRamp.from_arrival_slew(
+            arrival=inputs.anchor_time(),
+            slew=slew,
+            vdd=inputs.vdd,
+            rising=inputs.rising,
+        )
+
+
+@register_technique
+class P2(Technique):
+    """Noisy-extent point technique."""
+
+    name = "P2"
+
+    def equivalent_waveform(self, inputs: PropagationInputs) -> SaturatedRamp:
+        """Anchor at the latest noisy 0.5·Vdd crossing; slew spans from the
+        earliest 0.1·Vdd to the latest 0.9·Vdd noisy crossing."""
+        slew = inputs.v_in_noisy.slew(inputs.vdd, mode="noisy")
+        return SaturatedRamp.from_arrival_slew(
+            arrival=inputs.anchor_time(),
+            slew=slew,
+            vdd=inputs.vdd,
+            rising=inputs.rising,
+        )

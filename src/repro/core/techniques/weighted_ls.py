@@ -1,0 +1,65 @@
+"""WLS5 — weighted least squares with the noiseless sensitivity
+(Hashimoto, Yamada, Onodera, TCAD 2004; paper §2.4).
+
+WLS5 refines LSF3 by weighting every squared sample difference with the
+gate's noiseless sensitivity ρ_noiseless(t_k) (Eq. 2)::
+
+    minimise  Σ_k [ ρ_noiseless(t_k) · (v_in_noisy(t_k) − a·t_k − b) ]²
+
+The weight is non-zero only inside the *noiseless critical region*, which
+acts as a time filter: noise that lands outside that window is ignored
+entirely, and with many aggressors the arrival/slew at the gate output can
+be underestimated badly — the two shortcomings SGDP removes.  WLS5 is also
+undefined when the noiseless input and output transitions do not overlap
+(large intrinsic delay / heavy fanout), in which case this implementation
+raises :class:`~repro.core.techniques.base.TechniqueNotApplicableError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ramp import SaturatedRamp
+from ..sensitivity import NonOverlappingTransitionsError
+from .base import (
+    DegenerateFitError,
+    PropagationInputs,
+    Technique,
+    TechniqueNotApplicableError,
+    fit_line_weighted,
+    register_technique,
+)
+
+__all__ = ["Wls5"]
+
+
+@register_technique
+class Wls5(Technique):
+    """Sensitivity-weighted least squares over the noiseless critical region."""
+
+    name = "WLS5"
+
+    def equivalent_waveform(self, inputs: PropagationInputs) -> SaturatedRamp:
+        """Fit with weights ρ²_noiseless(t_k), sampled over the union of the
+        noisy and noiseless critical regions."""
+        v_in_noiseless, _ = inputs.require_noiseless(self.name)
+        try:
+            sens = inputs.sensitivity()
+        except NonOverlappingTransitionsError as exc:
+            raise TechniqueNotApplicableError(
+                f"{self.name}: noiseless input/output transitions do not overlap"
+            ) from exc
+
+        noisy_region = inputs.noisy_critical_region()
+        window = (min(noisy_region[0], sens.region[0]),
+                  max(noisy_region[1], sens.region[1]))
+        t = inputs.sample_times(window)
+        v = np.asarray(inputs.v_in_noisy(t))
+        rho = np.asarray(sens.rho_at_time(t))
+        weights = rho * rho
+        a, b = fit_line_weighted(t, v, weights)
+        if (a > 0) != inputs.rising or a == 0.0:
+            raise DegenerateFitError(
+                f"{self.name}: fitted slope {a:.3e} V/s contradicts the transition"
+            )
+        return SaturatedRamp(a=a, b=b, vdd=inputs.vdd)

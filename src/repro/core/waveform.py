@@ -1,0 +1,469 @@
+"""Sampled voltage waveforms and the measurements STA needs from them.
+
+The :class:`Waveform` type is the common currency of this library: the
+circuit simulator produces them, the equivalent-waveform techniques of the
+paper consume them, and the STA engine propagates summaries of them
+(arrival time and slew).  A waveform is an immutable piecewise-linear curve
+``v(t)`` given by strictly-increasing sample times and the voltage at each
+sample.
+
+Conventions
+-----------
+* Times are in seconds, voltages in volts.
+* "Crossing" queries interpolate linearly between samples.
+* A *rising* waveform settles higher than it starts; *falling* is the
+  opposite.  Noise bumps do not change the overall polarity, which is
+  decided from the first and last samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from .._util import as_float_array, is_strictly_increasing, linear_interp_crossings, require
+
+__all__ = ["Waveform", "TransitionPolarity"]
+
+
+class TransitionPolarity:
+    """Symbolic constants for transition direction."""
+
+    RISING = "rising"
+    FALLING = "falling"
+    FLAT = "flat"
+
+
+class Waveform:
+    """An immutable, piecewise-linear sampled voltage waveform.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times in seconds.
+    values:
+        Voltage at each sample, same length as ``times``.
+
+    Examples
+    --------
+    >>> w = Waveform.ramp(t_start=0.0, slew=100e-12, vdd=1.2)
+    >>> round(w.cross_time(0.6), 15)   # 0.5 * Vdd of a 10-90 ramp
+    6.25e-11
+    """
+
+    __slots__ = ("_times", "_values")
+
+    def __init__(self, times: Iterable[float], values: Iterable[float]):
+        t = as_float_array(times, "times")
+        v = as_float_array(values, "values")
+        require(t.size == v.size, "times and values must have the same length")
+        require(t.size >= 2, "a waveform needs at least two samples")
+        require(is_strictly_increasing(t), "times must be strictly increasing")
+        t.setflags(write=False)
+        v.setflags(write=False)
+        self._times = t
+        self._values = v
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def ramp(
+        cls,
+        t_start: float,
+        slew: float,
+        vdd: float,
+        rising: bool = True,
+        t_end: float | None = None,
+        low_frac: float = 0.1,
+        high_frac: float = 0.9,
+        n_flat: float = 0.5,
+    ) -> "Waveform":
+        """Build a saturated linear ramp, the canonical STA stimulus.
+
+        ``slew`` is the ``low_frac``→``high_frac`` transition time (the
+        usual 10%–90% measurement), so the full 0→Vdd ramp takes
+        ``slew / (high_frac - low_frac)`` seconds, starting at ``t_start``.
+
+        Parameters
+        ----------
+        t_start:
+            Time at which the ramp leaves its initial rail.
+        slew:
+            10–90 (by default) transition time in seconds; must be > 0.
+        vdd:
+            Supply voltage; the ramp saturates at 0 and ``vdd``.
+        rising:
+            Direction of the transition.
+        t_end:
+            Final sample time; defaults to the ramp end plus ``n_flat``
+            ramp-durations of settled tail.
+        """
+        require(slew > 0.0, "slew must be positive")
+        require(vdd > 0.0, "vdd must be positive")
+        duration = slew / (high_frac - low_frac)
+        t_hi = t_start + duration
+        if t_end is None:
+            t_end = t_hi + n_flat * duration
+        require(t_end > t_hi, "t_end must lie after the ramp completes")
+        lead = t_start - 0.25 * duration
+        if rising:
+            times = [lead, t_start, t_hi, t_end]
+            values = [0.0, 0.0, vdd, vdd]
+        else:
+            times = [lead, t_start, t_hi, t_end]
+            values = [vdd, vdd, 0.0, 0.0]
+        return cls(times, values)
+
+    @classmethod
+    def constant(cls, value: float, t_start: float, t_end: float) -> "Waveform":
+        """A flat waveform at ``value`` over ``[t_start, t_end]``."""
+        require(t_end > t_start, "t_end must exceed t_start")
+        return cls([t_start, t_end], [value, value])
+
+    @classmethod
+    def from_function(
+        cls, func: Callable[[np.ndarray], np.ndarray], t_start: float, t_end: float, n: int = 257
+    ) -> "Waveform":
+        """Sample ``func`` uniformly on ``[t_start, t_end]`` with ``n`` points."""
+        require(n >= 2, "need at least two samples")
+        t = np.linspace(t_start, t_end, n)
+        return cls(t, np.asarray(func(t), dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times (read-only array)."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample voltages (read-only array)."""
+        return self._values
+
+    @property
+    def t_start(self) -> float:
+        """First sample time."""
+        return float(self._times[0])
+
+    @property
+    def t_end(self) -> float:
+        """Last sample time."""
+        return float(self._times[-1])
+
+    @property
+    def duration(self) -> float:
+        """Span of the sampled window."""
+        return self.t_end - self.t_start
+
+    @property
+    def v_initial(self) -> float:
+        """Voltage at the first sample."""
+        return float(self._values[0])
+
+    @property
+    def v_final(self) -> float:
+        """Voltage at the last sample."""
+        return float(self._values[-1])
+
+    @property
+    def v_min(self) -> float:
+        """Minimum sampled voltage."""
+        return float(self._values.min())
+
+    @property
+    def v_max(self) -> float:
+        """Maximum sampled voltage."""
+        return float(self._values.max())
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Waveform(n={len(self)}, t=[{self.t_start:.3e}, {self.t_end:.3e}], "
+            f"v=[{self.v_min:.3f}, {self.v_max:.3f}], {self.polarity()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Waveform):
+            return NotImplemented
+        return (
+            self._times.shape == other._times.shape
+            and bool(np.array_equal(self._times, other._times))
+            and bool(np.array_equal(self._values, other._values))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._values.tobytes()))
+
+    def __call__(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the waveform at time(s) ``t`` by linear interpolation.
+
+        Times outside the sampled window clamp to the first/last value.
+        """
+        out = np.interp(t, self._times, self._values)
+        if np.isscalar(t):
+            return float(out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Transformations (all return new Waveforms)
+    # ------------------------------------------------------------------
+    def shifted(self, dt: float) -> "Waveform":
+        """Return this waveform translated by ``dt`` in time."""
+        return Waveform(self._times + dt, self._values)
+
+    def scaled(self, gain: float, offset: float = 0.0) -> "Waveform":
+        """Return ``gain * v(t) + offset``."""
+        return Waveform(self._times, gain * self._values + offset)
+
+    def clipped(self, v_low: float, v_high: float) -> "Waveform":
+        """Return the waveform with voltages clamped into ``[v_low, v_high]``."""
+        require(v_high > v_low, "v_high must exceed v_low")
+        return Waveform(self._times, np.clip(self._values, v_low, v_high))
+
+    def windowed(self, t0: float, t1: float) -> "Waveform":
+        """Return the restriction of the waveform to ``[t0, t1]``.
+
+        End points are added by interpolation so the window bounds are
+        always sampled exactly.
+        """
+        require(t1 > t0, "window must have positive width")
+        t0 = max(t0, self.t_start)
+        t1 = min(t1, self.t_end)
+        require(t1 > t0, "window does not intersect the waveform")
+        inside = (self._times > t0) & (self._times < t1)
+        times = np.concatenate(([t0], self._times[inside], [t1]))
+        values = np.concatenate(([self(t0)], self._values[inside], [self(t1)]))
+        return Waveform(times, values)
+
+    def resampled(self, n: int | None = None, times: Iterable[float] | None = None) -> "Waveform":
+        """Return the waveform re-sampled on a new grid.
+
+        Exactly one of ``n`` (uniform grid over the current window) or
+        ``times`` (explicit grid) must be given.
+        """
+        require((n is None) != (times is None), "give exactly one of n / times")
+        if n is not None:
+            require(n >= 2, "need at least two samples")
+            grid = np.linspace(self.t_start, self.t_end, n)
+        else:
+            grid = as_float_array(times, "times")
+            require(is_strictly_increasing(grid), "times must be strictly increasing")
+        return Waveform(grid, np.asarray(self(grid)))
+
+    def reversed_polarity(self, vdd: float) -> "Waveform":
+        """Mirror the waveform about ``vdd / 2`` (rising ↔ falling)."""
+        return Waveform(self._times, vdd - self._values)
+
+    def derivative(self) -> "Waveform":
+        """Return dv/dt, sampled at the original times (central differences)."""
+        dv = np.gradient(self._values, self._times)
+        return Waveform(self._times, dv)
+
+    def plus(self, other: "Waveform") -> "Waveform":
+        """Pointwise sum on the union time window (self's grid + other's)."""
+        grid = np.union1d(self._times, other._times)
+        return Waveform(grid, np.asarray(self(grid)) + np.asarray(other(grid)))
+
+    def minus(self, other: "Waveform") -> "Waveform":
+        """Pointwise difference ``self - other`` on the union grid."""
+        grid = np.union1d(self._times, other._times)
+        return Waveform(grid, np.asarray(self(grid)) - np.asarray(other(grid)))
+
+    # ------------------------------------------------------------------
+    # Measurements
+    # ------------------------------------------------------------------
+    def polarity(self, settle_tol: float = 1e-3) -> str:
+        """Classify the overall transition as rising / falling / flat.
+
+        Decided from the first and last samples; excursions in between
+        (noise bumps) are ignored, matching how STA treats a noisy victim
+        transition.
+        """
+        delta = self.v_final - self.v_initial
+        span = max(abs(self.v_max - self.v_min), 1e-30)
+        if abs(delta) <= settle_tol * span:
+            return TransitionPolarity.FLAT
+        return TransitionPolarity.RISING if delta > 0 else TransitionPolarity.FALLING
+
+    def crossings(self, level: float) -> np.ndarray:
+        """All times at which the waveform crosses ``level`` (may be empty)."""
+        return linear_interp_crossings(self._times, self._values, level)
+
+    def cross_time(self, level: float, which: str = "last") -> float:
+        """Time of the first/last crossing of ``level``.
+
+        Parameters
+        ----------
+        level:
+            Absolute voltage level.
+        which:
+            ``"first"`` or ``"last"``.
+
+        Raises
+        ------
+        ValueError
+            If the waveform never reaches ``level``.
+        """
+        require(which in ("first", "last"), "which must be 'first' or 'last'")
+        hits = self.crossings(level)
+        if hits.size == 0:
+            raise ValueError(
+                f"waveform (v in [{self.v_min:.4f}, {self.v_max:.4f}]) "
+                f"never crosses level {level:.4f}"
+            )
+        return float(hits[0] if which == "first" else hits[-1])
+
+    def crossing_count(self, level: float) -> int:
+        """Number of crossings of ``level`` — a simple noisiness measure."""
+        return int(self.crossings(level).size)
+
+    def arrival_time(self, vdd: float, frac: float = 0.5, which: str = "last") -> float:
+        """STA arrival time: crossing of ``frac * vdd`` (latest by default).
+
+        STA uses the *latest* crossing of the measurement threshold for a
+        noisy waveform, which is the conservative choice the paper's
+        point-based techniques anchor on.
+        """
+        return self.cross_time(frac * vdd, which=which)
+
+    def slew(
+        self,
+        vdd: float,
+        low_frac: float = 0.1,
+        high_frac: float = 0.9,
+        mode: str = "noisy",
+    ) -> float:
+        """Transition time between the ``low_frac`` and ``high_frac`` levels.
+
+        Parameters
+        ----------
+        vdd:
+            Supply voltage used to turn fractions into absolute levels.
+        low_frac, high_frac:
+            Measurement thresholds (defaults 10% / 90%).
+        mode:
+            ``"noisy"`` measures from the *earliest* entry into the
+            transition band to the *latest* exit (the paper's P2 rule);
+            ``"clean"`` measures first-entry to first-exit, appropriate for
+            monotonic waveforms (the paper's P1 rule applies this to the
+            noiseless waveform).
+
+        Returns
+        -------
+        float
+            Positive transition time in seconds.
+        """
+        require(mode in ("noisy", "clean"), "mode must be 'noisy' or 'clean'")
+        pol = self.polarity()
+        require(pol != TransitionPolarity.FLAT, "slew of a flat waveform is undefined")
+        v_lo = low_frac * vdd
+        v_hi = high_frac * vdd
+        if pol == TransitionPolarity.RISING:
+            start_level, end_level = v_lo, v_hi
+        else:
+            start_level, end_level = v_hi, v_lo
+        t_begin = self.cross_time(start_level, which="first")
+        t_end = self.cross_time(end_level, which="last" if mode == "noisy" else "first")
+        return abs(t_end - t_begin)
+
+    def critical_region(
+        self, vdd: float, low_frac: float = 0.1, high_frac: float = 0.9
+    ) -> tuple[float, float]:
+        """The paper's critical region: first ``0.1*Vdd`` to last ``0.9*Vdd``.
+
+        For a falling transition the roles of the levels swap (first
+        ``0.9*Vdd`` crossing to last ``0.1*Vdd`` crossing), keeping the
+        region the span of the switching activity.
+        """
+        pol = self.polarity()
+        require(pol != TransitionPolarity.FLAT, "critical region of a flat waveform")
+        v_lo = low_frac * vdd
+        v_hi = high_frac * vdd
+        if pol == TransitionPolarity.RISING:
+            t_first = self.cross_time(v_lo, which="first")
+            t_last = self.cross_time(v_hi, which="last")
+        else:
+            t_first = self.cross_time(v_hi, which="first")
+            t_last = self.cross_time(v_lo, which="last")
+        require(t_last > t_first, "degenerate critical region")
+        return (t_first, t_last)
+
+    def principal_critical_region(
+        self, vdd: float, low_frac: float = 0.1, high_frac: float = 0.9
+    ) -> tuple[float, float]:
+        """The critical region clipped to the *principal* transition.
+
+        Starts at the first entry into the transition band (as
+        :meth:`critical_region`), but ends at the first ``high_frac``-level
+        crossing **at or after the arrival anchor** (the latest 0.5·Vdd
+        crossing) instead of the absolute last one.  Crosstalk that dips an
+        already-settled waveform back into the upper band would otherwise
+        stretch the window far past the switching event and starve
+        fit-based techniques of transition samples; noise *before or
+        during* the transition — the case SGDP is designed to capture —
+        is fully retained.
+        """
+        pol = self.polarity()
+        require(pol != TransitionPolarity.FLAT, "critical region of a flat waveform")
+        v_lo = low_frac * vdd
+        v_hi = high_frac * vdd
+        anchor = self.cross_time(0.5 * vdd, which="last")
+        if pol == TransitionPolarity.RISING:
+            t_first = self.cross_time(v_lo, which="first")
+            end_level = v_hi
+        else:
+            t_first = self.cross_time(v_hi, which="first")
+            end_level = v_lo
+        ends = self.crossings(end_level)
+        after = ends[ends >= anchor]
+        t_last = float(after[0]) if after.size else float(ends[-1])
+        require(t_last > t_first, "degenerate principal critical region")
+        return (t_first, t_last)
+
+    def integral(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Trapezoidal integral of ``v(t)`` over ``[t0, t1]`` (default: all)."""
+        w = self if t0 is None and t1 is None else self.windowed(
+            self.t_start if t0 is None else t0, self.t_end if t1 is None else t1
+        )
+        return float(np.trapezoid(w.values, w.times))
+
+    def band_area(self, v_low: float, v_high: float, t0: float, t1: float) -> float:
+        """Area between the curve (clamped into the band) and ``v_high``.
+
+        Computes ``∫ (v_high - clamp(v(t), v_low, v_high)) dt`` over
+        ``[t0, t1]`` — the "energy" measure the paper's E4 technique
+        equates between the noisy waveform and the equivalent ramp.
+        """
+        require(v_high > v_low, "band must have positive height")
+        w = self.windowed(t0, t1)
+        clamped = np.clip(w.values, v_low, v_high)
+        return float(np.trapezoid(v_high - clamped, w.times))
+
+    def settles_to(self, target: float, tolerance: float) -> bool:
+        """True when the final sample is within ``tolerance`` of ``target``."""
+        return abs(self.v_final - target) <= tolerance
+
+    def is_monotonic(self, tolerance: float = 0.0) -> bool:
+        """True when samples never move against the overall transition."""
+        pol = self.polarity()
+        dv = np.diff(self._values)
+        if pol == TransitionPolarity.FALLING:
+            dv = -dv
+        return bool(np.all(dv >= -abs(tolerance)))
+
+    def overlaps(self, other: "Waveform", vdd: float) -> bool:
+        """True when the critical regions of the two waveforms intersect.
+
+        The paper's WLS5 requires the (noiseless) input and output
+        transitions to overlap for the sensitivity ρ to be meaningful; this
+        predicate implements that check.
+        """
+        a0, a1 = self.critical_region(vdd)
+        b0, b1 = other.critical_region(vdd)
+        return a0 < b1 and b0 < a1

@@ -1,0 +1,110 @@
+"""§4.2 run-time comparison of the techniques.
+
+The paper reports per-gate delay-propagation times on a Sun Blade 1000:
+P1/P2/LSF3/E4 ≈ 40 µs, WLS5 ≈ 60 µs, SGDP (P = 35) ≈ 65 µs — all linear
+in the sampling count P.  This harness times the *pure technique
+computation* (building Γ_eff from an already-available noisy waveform and
+noiseless reference), which is the operation those numbers measure; the
+golden circuit simulations are excluded, exactly as Hspice time is
+excluded from the paper's figures.
+
+Absolute times depend on host and language; the reproduction target is
+the *ordering* (point/LS/energy techniques cheapest, WLS5 and SGDP a
+constant factor dearer) and the linear scaling in P.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .._util import require
+from ..core.techniques import PropagationInputs, Technique, all_techniques
+from .noise_injection import SweepTiming, run_noise_case, run_noiseless
+from .setup import CONFIG_I, CrosstalkConfig
+
+__all__ = ["RuntimeMeasurement", "measure_runtimes", "make_runtime_inputs",
+           "PAPER_RUNTIMES_US"]
+
+#: §4.2 reference times in µs on the paper's Sun Blade 1000.
+PAPER_RUNTIMES_US = {"P1": 40.0, "P2": 40.0, "LSF3": 40.0, "E4": 40.0,
+                     "WLS5": 60.0, "SGDP": 65.0}
+
+
+@dataclass(frozen=True)
+class RuntimeMeasurement:
+    """Timing of one technique's Γ_eff computation.
+
+    Attributes
+    ----------
+    technique:
+        Technique name.
+    seconds_per_call:
+        Mean wall time of one equivalent-waveform computation.
+    calls:
+        Number of timed calls.
+    """
+
+    technique: str
+    seconds_per_call: float
+    calls: int
+
+    @property
+    def microseconds(self) -> float:
+        """Mean time in µs (the paper's unit)."""
+        return self.seconds_per_call * 1e6
+
+
+def make_runtime_inputs(
+    config: CrosstalkConfig = CONFIG_I,
+    offset: float = -0.1e-9,
+    n_samples: int = 35,
+    timing: SweepTiming | None = None,
+) -> PropagationInputs:
+    """Build a representative noisy-waveform input for timing runs.
+
+    Uses a mid-transition noise alignment of Configuration I, the same
+    kind of waveform Figure 2 illustrates.
+    """
+    timing = timing or SweepTiming()
+    ref = run_noiseless(config, timing)
+    case = run_noise_case(config, tuple(offset for _ in range(config.n_aggressors)),
+                          timing)
+    return PropagationInputs(
+        v_in_noisy=case.v_in_noisy,
+        vdd=config.vdd,
+        v_in_noiseless=ref.v_in,
+        v_out_noiseless=ref.v_out,
+        n_samples=n_samples,
+    )
+
+
+def measure_runtimes(
+    inputs: PropagationInputs,
+    techniques: list[Technique] | None = None,
+    repeat: int = 50,
+    warmup: int = 5,
+) -> dict[str, RuntimeMeasurement]:
+    """Time each technique's Γ_eff computation on shared inputs.
+
+    The cached sensitivity map inside ``inputs`` is computed once before
+    timing (the paper likewise counts gate characterisation as given).
+    """
+    require(repeat >= 1, "repeat must be positive")
+    techs = techniques if techniques is not None else all_techniques()
+    if inputs.v_in_noiseless is not None:
+        inputs.sensitivity()  # prime the shared cache outside the timing loop
+    out: dict[str, RuntimeMeasurement] = {}
+    for tech in techs:
+        for _ in range(warmup):
+            tech.equivalent_waveform(inputs)
+        start = time.perf_counter()
+        for _ in range(repeat):
+            tech.equivalent_waveform(inputs)
+        elapsed = time.perf_counter() - start
+        out[tech.name] = RuntimeMeasurement(
+            technique=tech.name,
+            seconds_per_call=elapsed / repeat,
+            calls=repeat,
+        )
+    return out

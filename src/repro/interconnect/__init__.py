@@ -1,0 +1,19 @@
+"""Interconnect substrate: distributed RC lines, capacitive coupling,
+Elmore/first-moment wire delays."""
+
+from .coupling import CoupledBundle, CouplingSpec, add_coupled_lines
+from .elmore import RcTree, elmore_delay, elmore_delays_line
+from .rcline import RcLineSpec, WIRE_C_PER_UM, WIRE_R_PER_UM, add_rc_line
+
+__all__ = [
+    "RcLineSpec",
+    "add_rc_line",
+    "WIRE_R_PER_UM",
+    "WIRE_C_PER_UM",
+    "CouplingSpec",
+    "CoupledBundle",
+    "add_coupled_lines",
+    "RcTree",
+    "elmore_delay",
+    "elmore_delays_line",
+]

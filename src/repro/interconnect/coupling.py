@@ -1,0 +1,124 @@
+"""Capacitively coupled line bundles — the crosstalk substrate.
+
+Figure 1 of the paper couples the aggressor and victim lines with one
+coupling capacitor per cell (three in total, 100 fF combined).
+:func:`add_coupled_lines` generalises this to any number of parallel lines
+with pairwise total coupling values, attaching one coupling capacitor at
+each matching pair of junction nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import require
+from ..circuit.netlist import Circuit
+from .rcline import RcLineSpec, add_rc_line
+
+__all__ = ["CouplingSpec", "CoupledBundle", "add_coupled_lines"]
+
+
+@dataclass(frozen=True)
+class CouplingSpec:
+    """Total coupling capacitance between two lines of a bundle.
+
+    Attributes
+    ----------
+    line_a, line_b:
+        Indices of the coupled lines within the bundle.
+    total_cm:
+        Total mutual capacitance, distributed over the shared junctions.
+    """
+
+    line_a: int
+    line_b: int
+    total_cm: float
+
+    def __post_init__(self) -> None:
+        require(self.total_cm > 0.0, "coupling capacitance must be positive")
+        require(self.line_a != self.line_b, "a line cannot couple to itself")
+
+
+@dataclass(frozen=True)
+class CoupledBundle:
+    """Result of instantiating a coupled-line bundle.
+
+    Attributes
+    ----------
+    junctions:
+        Per line, the junction node names from near to far end.
+    """
+
+    junctions: tuple[tuple[str, ...], ...] = field(default_factory=tuple)
+
+    def far_end(self, line: int) -> str:
+        """Far-end node name of ``line``."""
+        return self.junctions[line][-1]
+
+    def near_end(self, line: int) -> str:
+        """Near-end node name of ``line``."""
+        return self.junctions[line][0]
+
+
+def add_coupled_lines(
+    circuit: Circuit,
+    prefix: str,
+    terminals: list[tuple[str, str]],
+    specs: list[RcLineSpec],
+    couplings: list[CouplingSpec],
+    couple_at: str = "cell",
+) -> CoupledBundle:
+    """Instantiate parallel RC lines with mutual coupling capacitors.
+
+    Parameters
+    ----------
+    circuit:
+        Netlist to extend.
+    prefix:
+        Name prefix for all created elements.
+    terminals:
+        Per line, the ``(near_end, far_end)`` node names.
+    specs:
+        Per line, its :class:`RcLineSpec`.  All lines must have the same
+        segment count so junctions align.
+    couplings:
+        Pairwise total coupling capacitances.
+    couple_at:
+        ``"cell"`` attaches one Cm per segment at the segment *output*
+        junction (the paper's drawing); ``"all"`` couples every junction
+        including the near end.
+
+    Returns
+    -------
+    CoupledBundle
+        Junction node names per line.
+    """
+    require(len(terminals) == len(specs), "one spec per line required")
+    require(len(specs) >= 1, "need at least one line")
+    n_seg = specs[0].n_segments
+    require(all(s.n_segments == n_seg for s in specs),
+            "all lines must share the segment count for coupling alignment")
+    require(couple_at in ("cell", "all"), "couple_at must be 'cell' or 'all'")
+
+    junctions: list[tuple[str, ...]] = []
+    for i, ((n_in, n_out), spec) in enumerate(zip(terminals, specs)):
+        nodes = add_rc_line(circuit, f"{prefix}.l{i}", n_in, n_out, spec)
+        junctions.append(tuple(nodes))
+
+    if couple_at == "cell":
+        couple_idx = list(range(1, n_seg + 1))
+    else:
+        couple_idx = list(range(0, n_seg + 1))
+
+    for spec_c in couplings:
+        require(0 <= spec_c.line_a < len(specs) and 0 <= spec_c.line_b < len(specs),
+                "coupling references an unknown line")
+        cm_each = spec_c.total_cm / len(couple_idx)
+        for pos, k in enumerate(couple_idx):
+            circuit.capacitor(
+                f"{prefix}.cm{spec_c.line_a}_{spec_c.line_b}_{pos}",
+                junctions[spec_c.line_a][k],
+                junctions[spec_c.line_b][k],
+                cm_each,
+            )
+    return CoupledBundle(junctions=tuple(junctions))

@@ -1,0 +1,100 @@
+"""Distributed RC interconnect models.
+
+The paper's testbench (Figure 1) models each 1000 µm line as three lumped
+cells, each a series resistance with grounded capacitances on both sides
+(values R = 8.5 Ω, C = 4.8 fF per element).  :class:`RcLineSpec` captures
+that construction generally: a line is ``n_segments`` π-cells, so every
+internal junction carries the capacitance of two adjacent half-cells.
+
+Per-µm parasitics for a 0.13 µm-class wide metal line are provided so
+Config II's 500 µm lines scale consistently from the same process numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require
+from ..circuit.netlist import Circuit
+
+__all__ = ["RcLineSpec", "add_rc_line", "WIRE_R_PER_UM", "WIRE_C_PER_UM"]
+
+#: Wire resistance per µm reproducing Figure 1: 3 × 8.5 Ω over 1000 µm.
+WIRE_R_PER_UM = 3 * 8.5 / 1000.0
+#: Wire ground capacitance per µm reproducing Figure 1: 6 × 4.8 fF over 1000 µm.
+WIRE_C_PER_UM = 6 * 4.8e-15 / 1000.0
+
+
+@dataclass(frozen=True)
+class RcLineSpec:
+    """Geometry-independent description of a uniform RC line.
+
+    Attributes
+    ----------
+    total_r:
+        Total series resistance, ohms.
+    total_c:
+        Total grounded capacitance, farads.
+    n_segments:
+        Number of π-cells the line is discretised into.
+    """
+
+    total_r: float
+    total_c: float
+    n_segments: int = 3
+
+    def __post_init__(self) -> None:
+        require(self.total_r > 0.0, "total_r must be positive")
+        require(self.total_c > 0.0, "total_c must be positive")
+        require(self.n_segments >= 1, "need at least one segment")
+
+    @classmethod
+    def from_length(cls, length_um: float, n_segments: int = 3,
+                    r_per_um: float = WIRE_R_PER_UM,
+                    c_per_um: float = WIRE_C_PER_UM) -> "RcLineSpec":
+        """Build a line spec from physical length and per-µm parasitics."""
+        require(length_um > 0.0, "length must be positive")
+        return cls(total_r=r_per_um * length_um, total_c=c_per_um * length_um,
+                   n_segments=n_segments)
+
+    @property
+    def r_per_segment(self) -> float:
+        """Series resistance of one cell."""
+        return self.total_r / self.n_segments
+
+    @property
+    def c_per_segment(self) -> float:
+        """Grounded capacitance of one cell (split across its two ends)."""
+        return self.total_c / self.n_segments
+
+    def internal_node(self, prefix: str, k: int) -> str:
+        """Name of the k-th internal junction (1-based) for ``prefix``."""
+        return f"{prefix}.n{k}"
+
+    def junction_nodes(self, prefix: str, node_in: str, node_out: str) -> list[str]:
+        """All junction nodes from the near end to the far end inclusive."""
+        inner = [self.internal_node(prefix, k) for k in range(1, self.n_segments)]
+        return [node_in, *inner, node_out]
+
+
+def add_rc_line(circuit: Circuit, prefix: str, node_in: str, node_out: str,
+                spec: RcLineSpec) -> list[str]:
+    """Instantiate ``spec`` between ``node_in`` and ``node_out``.
+
+    Each cell contributes ``C/2`` at both of its ends (π topology), so the
+    end nodes carry ``C/2`` and internal junctions carry ``C``.
+
+    Returns
+    -------
+    list[str]
+        The junction node names (near end first), which is where coupling
+        capacitors attach.
+    """
+    nodes = spec.junction_nodes(prefix, node_in, node_out)
+    half_c = spec.c_per_segment / 2.0
+    for k in range(spec.n_segments):
+        a, b = nodes[k], nodes[k + 1]
+        circuit.resistor(f"{prefix}.r{k + 1}", a, b, spec.r_per_segment)
+        circuit.capacitor(f"{prefix}.cl{k + 1}", a, "0", half_c)
+        circuit.capacitor(f"{prefix}.cr{k + 1}", b, "0", half_c)
+    return nodes

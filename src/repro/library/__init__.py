@@ -1,0 +1,42 @@
+"""Standard-cell substrate: inverter cells, NLDM characterisation by
+simulation, and Liberty import/export."""
+
+from .cells import (
+    InverterCell,
+    STANDARD_DRIVES,
+    VDD_DEFAULT,
+    make_inverter,
+    standard_cell,
+    standard_cells,
+)
+from .characterize import (
+    CharacterizedCell,
+    GateResponse,
+    characterize_cell,
+    default_load_grid,
+    default_slew_grid,
+    simulate_gate_response,
+)
+from .liberty import LibertyGroup, LibertyParseError, parse_liberty, write_liberty
+from .nldm import NldmTable, TimingArc
+
+__all__ = [
+    "InverterCell",
+    "VDD_DEFAULT",
+    "STANDARD_DRIVES",
+    "make_inverter",
+    "standard_cell",
+    "standard_cells",
+    "GateResponse",
+    "simulate_gate_response",
+    "characterize_cell",
+    "CharacterizedCell",
+    "default_slew_grid",
+    "default_load_grid",
+    "NldmTable",
+    "TimingArc",
+    "write_liberty",
+    "parse_liberty",
+    "LibertyGroup",
+    "LibertyParseError",
+]

@@ -1,0 +1,107 @@
+"""Standard-cell definitions: the inverter family of the paper's testbench.
+
+The paper instantiates INVx, 4INVx, 16INVx and 64INVx from a TSMC 0.13 µm
+library.  Our substitute builds geometrically scaled static CMOS inverters
+from the :mod:`repro.circuit.mosfet` device models: drive ``k`` multiplies
+both transistor widths by ``k`` over the unit cell (Wn = 0.5 µm,
+Wp = 1.0 µm, L = 0.13 µm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import require
+from ..circuit.mosfet import MosfetParams, NMOS_013, PMOS_013
+from ..circuit.netlist import Circuit
+
+__all__ = ["InverterCell", "VDD_DEFAULT", "make_inverter", "STANDARD_DRIVES",
+           "standard_cell", "standard_cells"]
+
+#: Supply voltage of the 0.13 µm-class substitute process.
+VDD_DEFAULT = 1.2
+
+#: Drive strengths used throughout the paper's experiments.
+STANDARD_DRIVES = (1, 4, 16, 64)
+
+_UNIT_WN = 0.5e-6
+_UNIT_WP = 1.0e-6
+_LENGTH = 0.13e-6
+
+
+@dataclass(frozen=True)
+class InverterCell:
+    """A sized static CMOS inverter.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"INVX4"``.
+    drive:
+        Integer drive strength (width multiplier over the unit cell).
+    wn, wp, length:
+        Transistor geometry in metres.
+    vdd:
+        Nominal supply.
+    """
+
+    name: str
+    drive: int
+    wn: float
+    wp: float
+    length: float
+    vdd: float
+    nmos: MosfetParams = NMOS_013
+    pmos: MosfetParams = PMOS_013
+
+    def __post_init__(self) -> None:
+        require(self.drive >= 1, "drive must be >= 1")
+        require(self.wn > 0 and self.wp > 0 and self.length > 0, "bad geometry")
+        require(self.vdd > 0, "vdd must be positive")
+
+    @property
+    def input_capacitance(self) -> float:
+        """Total gate capacitance presented at the input pin (farads)."""
+        return (self.nmos.gate_capacitance(self.wn, self.length)
+                + self.pmos.gate_capacitance(self.wp, self.length))
+
+    @property
+    def output_capacitance(self) -> float:
+        """Drain junction capacitance at the output pin (farads)."""
+        return (self.nmos.drain_capacitance(self.wn)
+                + self.pmos.drain_capacitance(self.wp))
+
+    def instantiate(self, circuit: Circuit, inst_name: str, inp: str, out: str,
+                    vdd_node: str) -> None:
+        """Add this inverter to ``circuit`` between ``inp`` and ``out``."""
+        circuit.inverter(inst_name, inp, out, vdd_node,
+                         wn=self.wn, wp=self.wp, length=self.length,
+                         nmos_params=self.nmos, pmos_params=self.pmos)
+
+
+def make_inverter(drive: int, vdd: float = VDD_DEFAULT,
+                  nmos: MosfetParams = NMOS_013,
+                  pmos: MosfetParams = PMOS_013) -> InverterCell:
+    """Create the inverter cell of the given drive strength."""
+    require(drive >= 1, "drive must be >= 1")
+    return InverterCell(
+        name=f"INVX{drive}",
+        drive=drive,
+        wn=_UNIT_WN * drive,
+        wp=_UNIT_WP * drive,
+        length=_LENGTH,
+        vdd=vdd,
+        nmos=nmos,
+        pmos=pmos,
+    )
+
+
+def standard_cell(drive: int) -> InverterCell:
+    """The standard-library inverter of the given drive strength."""
+    require(drive in STANDARD_DRIVES, f"drive must be one of {STANDARD_DRIVES}")
+    return make_inverter(drive)
+
+
+def standard_cells() -> dict[str, InverterCell]:
+    """All standard inverters, keyed by cell name."""
+    return {cell.name: cell for cell in map(make_inverter, STANDARD_DRIVES)}

@@ -1,0 +1,188 @@
+"""NLDM characterisation: build delay/slew tables by circuit simulation.
+
+This reproduces the standard ASIC library flow: for every (input slew,
+output load) grid point, drive the cell with a saturated ramp, simulate,
+and measure 50%→50% delay and 10–90% output transition.  The paper's
+point is that SGDP works "with the current level of gate characterization
+in conventional ASIC cell libraries" — i.e. exactly these tables plus the
+noiseless input/output waveforms, no extra library data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import require
+from ..circuit.netlist import Circuit
+from ..circuit.sources import RampSource
+from ..circuit.transient import simulate_transient
+from ..core.waveform import Waveform
+from .cells import InverterCell
+from .nldm import NldmTable, TimingArc
+
+__all__ = [
+    "GateResponse",
+    "simulate_gate_response",
+    "characterize_cell",
+    "CharacterizedCell",
+    "default_slew_grid",
+    "default_load_grid",
+]
+
+
+def default_slew_grid() -> np.ndarray:
+    """Input-slew index grid used for library characterisation (seconds)."""
+    return np.array([20e-12, 50e-12, 100e-12, 150e-12, 250e-12, 400e-12])
+
+
+def default_load_grid(cell: InverterCell) -> np.ndarray:
+    """Load index grid scaled with cell drive (farads)."""
+    base = np.array([2e-15, 5e-15, 10e-15, 20e-15, 40e-15, 80e-15])
+    return base * cell.drive
+
+
+@dataclass(frozen=True)
+class GateResponse:
+    """Waveforms from one gate simulation.
+
+    Attributes
+    ----------
+    v_in, v_out:
+        Input and output waveforms on the simulation grid.
+    delay:
+        Input 50% (latest crossing) to output 50% (latest crossing).
+    output_slew:
+        10–90% output transition time.
+    """
+
+    v_in: Waveform
+    v_out: Waveform
+    delay: float
+    output_slew: float
+
+
+def _settle_window(cell: InverterCell, slew: float, load: float) -> tuple[float, float]:
+    """Heuristic (t_start, t_stop) so input and output both settle."""
+    idsat = 0.5 * cell.nmos.beta(cell.wn, cell.length) * (cell.vdd - cell.nmos.vth) ** 2
+    r_eff = cell.vdd / max(idsat, 1e-9)
+    tau_out = r_eff * (load + cell.output_capacitance)
+    t_start = max(50e-12, 0.5 * slew)
+    t_stop = t_start + slew / 0.8 + 10.0 * tau_out + 200e-12
+    return t_start, t_stop
+
+
+def simulate_gate_response(
+    cell: InverterCell,
+    input_slew: float,
+    load: float,
+    input_rising: bool,
+    dt: float = 1e-12,
+    t_start_offset: float | None = None,
+) -> GateResponse:
+    """Simulate one inverter with a ramp input into a lumped load.
+
+    Parameters
+    ----------
+    cell:
+        The inverter to characterise.
+    input_slew:
+        10–90% input transition time.
+    load:
+        Lumped output capacitance in farads.
+    input_rising:
+        Direction of the input transition.
+    dt:
+        Simulation step.
+    t_start_offset:
+        Optional explicit ramp start time.
+
+    Raises
+    ------
+    RuntimeError
+        If the output fails to settle even after window extension.
+    """
+    require(input_slew > 0 and load >= 0, "bad characterisation point")
+    t_ramp, t_stop = _settle_window(cell, input_slew, load)
+    if t_start_offset is not None:
+        shift = t_start_offset - t_ramp
+        t_ramp, t_stop = t_start_offset, t_stop + shift
+
+    v_from, v_to = (0.0, cell.vdd) if input_rising else (cell.vdd, 0.0)
+    out_target = 0.0 if input_rising else cell.vdd
+
+    for attempt in range(4):
+        circuit = Circuit(f"char.{cell.name}")
+        circuit.vsource("Vdd", "vdd", "0", cell.vdd)
+        circuit.vsource("Vin", "in", "0", RampSource(t_ramp, input_slew, v_from, v_to))
+        cell.instantiate(circuit, "dut", "in", "out", "vdd")
+        if load > 0:
+            circuit.capacitor("CL", "out", "0", load)
+        initial = {"in": v_from, "out": cell.vdd - v_from, "vdd": cell.vdd}
+        result = simulate_transient(circuit, t_stop=t_stop, dt=dt,
+                                    initial_voltages=initial)
+        v_out = result.waveform("out")
+        if v_out.settles_to(out_target, 0.02 * cell.vdd):
+            v_in = result.waveform("in")
+            delay = (v_out.arrival_time(cell.vdd, which="last")
+                     - v_in.arrival_time(cell.vdd, which="last"))
+            return GateResponse(v_in=v_in, v_out=v_out, delay=delay,
+                                output_slew=v_out.slew(cell.vdd))
+        t_stop = t_ramp + 2.0 * (t_stop - t_ramp)
+    raise RuntimeError(
+        f"{cell.name} output failed to settle (slew={input_slew:.3e}, load={load:.3e})"
+    )
+
+
+@dataclass(frozen=True)
+class CharacterizedCell:
+    """A cell together with its NLDM timing arc."""
+
+    cell: InverterCell
+    arc: TimingArc
+    input_slews: np.ndarray = field(repr=False)
+    loads: np.ndarray = field(repr=False)
+
+    @property
+    def name(self) -> str:
+        """Library cell name."""
+        return self.cell.name
+
+
+def characterize_cell(
+    cell: InverterCell,
+    input_slews: np.ndarray | None = None,
+    loads: np.ndarray | None = None,
+    dt: float = 1e-12,
+) -> CharacterizedCell:
+    """Run the full characterisation grid and assemble the timing arc.
+
+    For the inverting arc, Liberty tables are named by the *output*
+    transition: ``cell_rise`` is measured with a falling input.
+    """
+    slews = default_slew_grid() if input_slews is None else np.asarray(input_slews, dtype=float)
+    cap_grid = default_load_grid(cell) if loads is None else np.asarray(loads, dtype=float)
+    shape = (slews.size, cap_grid.size)
+    cell_rise = np.empty(shape)
+    cell_fall = np.empty(shape)
+    rise_tran = np.empty(shape)
+    fall_tran = np.empty(shape)
+    for i, slew in enumerate(slews):
+        for j, load in enumerate(cap_grid):
+            falling_in = simulate_gate_response(cell, slew, load, input_rising=False, dt=dt)
+            rising_in = simulate_gate_response(cell, slew, load, input_rising=True, dt=dt)
+            cell_rise[i, j] = falling_in.delay
+            rise_tran[i, j] = falling_in.output_slew
+            cell_fall[i, j] = rising_in.delay
+            fall_tran[i, j] = rising_in.output_slew
+    arc = TimingArc(
+        related_pin="A",
+        output_pin="Y",
+        inverting=True,
+        cell_rise=NldmTable(slews, cap_grid, cell_rise),
+        cell_fall=NldmTable(slews, cap_grid, cell_fall),
+        rise_transition=NldmTable(slews, cap_grid, rise_tran),
+        fall_transition=NldmTable(slews, cap_grid, fall_tran),
+    )
+    return CharacterizedCell(cell=cell, arc=arc, input_slews=slews, loads=cap_grid)

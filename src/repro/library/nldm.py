@@ -1,0 +1,130 @@
+"""Non-linear delay model (NLDM) lookup tables.
+
+Conventional STA — the baseline the paper improves on — characterises each
+timing arc as 2-D tables of delay and output transition indexed by (input
+slew, output load).  This module provides the table type with the bilinear
+interpolation / linear extrapolation semantics commercial tools use, plus
+the grouping of tables into timing arcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_float_array, is_strictly_increasing, require
+
+__all__ = ["NldmTable", "TimingArc"]
+
+
+def _bracket(grid: np.ndarray, x: float) -> tuple[int, float]:
+    """Index ``i`` and fraction ``f`` such that ``x ≈ grid[i]·(1-f) + grid[i+1]·f``.
+
+    Out-of-range ``x`` extrapolates linearly from the boundary cell, the
+    standard NLDM convention.
+    """
+    if grid.size == 1:
+        return 0, 0.0
+    i = int(np.clip(np.searchsorted(grid, x) - 1, 0, grid.size - 2))
+    span = grid[i + 1] - grid[i]
+    return i, float((x - grid[i]) / span)
+
+
+@dataclass(frozen=True)
+class NldmTable:
+    """A 2-D characterisation table ``values[slew_index, load_index]``.
+
+    Attributes
+    ----------
+    input_slews:
+        Strictly increasing index-1 grid (seconds).
+    loads:
+        Strictly increasing index-2 grid (farads).
+    values:
+        Table payload (seconds), shape ``(len(input_slews), len(loads))``.
+    """
+
+    input_slews: np.ndarray
+    loads: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "input_slews", as_float_array(self.input_slews, "input_slews"))
+        object.__setattr__(self, "loads", as_float_array(self.loads, "loads"))
+        vals = np.asarray(self.values, dtype=np.float64)
+        require(vals.shape == (self.input_slews.size, self.loads.size),
+                f"values shape {vals.shape} does not match grids "
+                f"({self.input_slews.size}, {self.loads.size})")
+        require(is_strictly_increasing(self.input_slews), "input_slews must increase")
+        require(is_strictly_increasing(self.loads), "loads must increase")
+        require(bool(np.all(np.isfinite(vals))), "table values must be finite")
+        object.__setattr__(self, "values", vals)
+
+    def lookup(self, input_slew: float, load: float) -> float:
+        """Bilinear interpolation (linear extrapolation outside the grid)."""
+        i, fi = _bracket(self.input_slews, input_slew)
+        j, fj = _bracket(self.loads, load)
+        v = self.values
+        if self.input_slews.size == 1 and self.loads.size == 1:
+            return float(v[0, 0])
+        if self.input_slews.size == 1:
+            return float(v[0, j] * (1 - fj) + v[0, j + 1] * fj)
+        if self.loads.size == 1:
+            return float(v[i, 0] * (1 - fi) + v[i + 1, 0] * fi)
+        return float(
+            v[i, j] * (1 - fi) * (1 - fj)
+            + v[i + 1, j] * fi * (1 - fj)
+            + v[i, j + 1] * (1 - fi) * fj
+            + v[i + 1, j + 1] * fi * fj
+        )
+
+    def map_values(self, func) -> "NldmTable":
+        """Return a new table with ``func`` applied elementwise to values."""
+        return NldmTable(self.input_slews, self.loads, func(self.values.copy()))
+
+
+@dataclass(frozen=True)
+class TimingArc:
+    """A characterised input→output arc of a cell.
+
+    For an inverting arc, ``cell_rise`` is the delay from the *falling*
+    input to the rising output (Liberty convention: tables are named after
+    the output transition).
+
+    Attributes
+    ----------
+    related_pin / output_pin:
+        Pin names of the arc.
+    inverting:
+        ``True`` for a negative-unate arc (an inverter).
+    cell_rise, cell_fall:
+        Delay tables (input 50% to output 50%).
+    rise_transition, fall_transition:
+        Output slew tables (10–90%).
+    """
+
+    related_pin: str
+    output_pin: str
+    inverting: bool
+    cell_rise: NldmTable
+    cell_fall: NldmTable
+    rise_transition: NldmTable
+    fall_transition: NldmTable
+
+    def delay_and_slew(self, input_slew: float, load: float,
+                       input_rising: bool) -> tuple[float, float, bool]:
+        """Propagate (slew, load) through the arc.
+
+        Returns
+        -------
+        (delay, output_slew, output_rising)
+        """
+        output_rising = (not input_rising) if self.inverting else input_rising
+        if output_rising:
+            return (self.cell_rise.lookup(input_slew, load),
+                    self.rise_transition.lookup(input_slew, load),
+                    True)
+        return (self.cell_fall.lookup(input_slew, load),
+                self.fall_transition.lookup(input_slew, load),
+                False)

@@ -1,0 +1,24 @@
+"""Gate-level static timing analysis: netlists, timing graphs, NLDM
+arrival propagation, and the noise-aware equivalent-waveform mode."""
+
+from .analysis import EdgeTiming, InputSpec, StaEngine, StaResult
+from .graph import TimingGraph, TimingGraphError
+from .netlist import GateInstance, GateNetlist, NetlistError, parse_structural_verilog
+from .noise_aware import AggressorSpec, NoisyStage, StageTiming, propagate_path
+
+__all__ = [
+    "GateNetlist",
+    "GateInstance",
+    "NetlistError",
+    "parse_structural_verilog",
+    "TimingGraph",
+    "TimingGraphError",
+    "StaEngine",
+    "StaResult",
+    "EdgeTiming",
+    "InputSpec",
+    "AggressorSpec",
+    "NoisyStage",
+    "StageTiming",
+    "propagate_path",
+]

@@ -1,0 +1,229 @@
+"""Conventional static timing analysis on NLDM tables.
+
+This is the baseline engine the paper's techniques plug into: arrival
+times and slews propagate through gate arcs (table lookup) and wire arcs
+(Elmore delay with the standard PERI slew degradation), both transition
+edges are tracked, required times propagate backward, and the critical
+path can be traced.
+
+The noise-aware flow (:mod:`repro.sta.noise_aware`) replaces the summary
+(arrival, slew) at coupled nets with an equivalent waveform computed by a
+technique from :mod:`repro.core.techniques`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .._util import require
+from ..interconnect.rcline import RcLineSpec
+from ..interconnect.elmore import elmore_delays_line
+from ..library.characterize import CharacterizedCell
+from .graph import TimingGraph
+from .netlist import GateNetlist
+
+__all__ = ["EdgeTiming", "InputSpec", "StaResult", "StaEngine"]
+
+#: ln(9) — converts an RC time constant into a 10–90% transition time.
+_LN9 = math.log(9.0)
+
+
+@dataclass(frozen=True)
+class EdgeTiming:
+    """Timing of one transition edge at a net.
+
+    Attributes
+    ----------
+    arrival:
+        Latest arrival time of this edge (seconds).
+    slew:
+        10–90% transition time accompanying that arrival.
+    from_net:
+        Predecessor net on the worst path (None at primary inputs).
+    """
+
+    arrival: float
+    slew: float
+    from_net: str | None = None
+
+    def later_of(self, other: "EdgeTiming | None") -> "EdgeTiming":
+        """Worst-case merge of two candidate edge timings."""
+        if other is None or self.arrival >= other.arrival:
+            return self
+        return other
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Primary-input stimulus: arrival and slew for both edges."""
+
+    arrival: float = 0.0
+    slew: float = 50e-12
+
+    def __post_init__(self) -> None:
+        require(self.slew > 0, "input slew must be positive")
+
+
+@dataclass
+class StaResult:
+    """Arrival/required/slack data for every net.
+
+    ``rise[net]`` / ``fall[net]`` are :class:`EdgeTiming`; ``required``
+    maps nets to required times (propagated from primary outputs).
+    """
+
+    rise: dict[str, EdgeTiming] = field(default_factory=dict)
+    fall: dict[str, EdgeTiming] = field(default_factory=dict)
+    required: dict[str, float] = field(default_factory=dict)
+
+    def worst_edge(self, net: str) -> tuple[str, EdgeTiming]:
+        """(edge-name, timing) of the later edge at ``net``."""
+        r, f = self.rise[net], self.fall[net]
+        return ("rise", r) if r.arrival >= f.arrival else ("fall", f)
+
+    def arrival(self, net: str) -> float:
+        """Latest arrival at ``net`` across both edges."""
+        return self.worst_edge(net)[1].arrival
+
+    def slack(self, net: str) -> float:
+        """Required minus arrival at ``net`` (requires a required time)."""
+        require(net in self.required, f"no required time at net {net!r}")
+        return self.required[net] - self.arrival(net)
+
+    def worst_slack(self) -> float:
+        """Minimum slack over all constrained nets."""
+        require(bool(self.required), "no required times set")
+        return min(self.slack(net) for net in self.required)
+
+    def critical_path(self, end_net: str) -> list[str]:
+        """Trace the worst path ending at ``end_net`` back to its input."""
+        path = [end_net]
+        edge, timing = self.worst_edge(end_net)
+        while timing.from_net is not None:
+            path.append(timing.from_net)
+            # An inverter flips the edge at every stage.
+            edge = "fall" if edge == "rise" else "rise"
+            timing = (self.rise if edge == "rise" else self.fall)[timing.from_net]
+        path.reverse()
+        return path
+
+
+class StaEngine:
+    """NLDM-based STA over a characterised inverter library.
+
+    Parameters
+    ----------
+    library:
+        Cell name → :class:`~repro.library.characterize.CharacterizedCell`.
+    wire_specs:
+        Optional net name → :class:`~repro.interconnect.rcline.RcLineSpec`
+        for nets with significant interconnect; other nets are ideal.
+    """
+
+    def __init__(self, library: dict[str, CharacterizedCell],
+                 wire_specs: dict[str, RcLineSpec] | None = None):
+        require(len(library) > 0, "empty cell library")
+        self.library = library
+        self.wire_specs = dict(wire_specs or {})
+
+    # ------------------------------------------------------------------
+    def _cell(self, name: str) -> CharacterizedCell:
+        if name not in self.library:
+            raise KeyError(f"cell {name!r} not in library (have {sorted(self.library)})")
+        return self.library[name]
+
+    def net_load(self, netlist: GateNetlist, net: str) -> float:
+        """Capacitive load on ``net``: fanout pin caps plus wire capacitance."""
+        load = sum(self._cell(inst.cell).cell.input_capacitance
+                   for inst in netlist.loads_of(net))
+        if net in self.wire_specs:
+            load += self.wire_specs[net].total_c
+        return load
+
+    def _wire_arc(self, net: str, load_cap: float) -> tuple[float, float]:
+        """(delay, slew-degradation time constant) of the net's wire."""
+        if net not in self.wire_specs:
+            return (0.0, 0.0)
+        spec = self.wire_specs[net]
+        delay = elmore_delays_line(spec.total_r, spec.total_c, spec.n_segments,
+                                   load_c=load_cap)
+        return (delay, delay)
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        netlist: GateNetlist,
+        inputs: dict[str, InputSpec] | None = None,
+        required_times: dict[str, float] | None = None,
+    ) -> StaResult:
+        """Propagate arrivals (and optionally required times) through the design.
+
+        Parameters
+        ----------
+        netlist:
+            The gate-level design (validated internally).
+        inputs:
+            Primary input specs; unspecified inputs get ``InputSpec()``.
+        required_times:
+            Net → required time; defaults to none (slacks unavailable).
+
+        Returns
+        -------
+        StaResult
+        """
+        graph = TimingGraph.build(netlist)
+        inputs = inputs or {}
+        result = StaResult()
+
+        for net in graph.levels():
+            if net in netlist.primary_inputs:
+                spec = inputs.get(net, InputSpec())
+                result.rise[net] = EdgeTiming(spec.arrival, spec.slew)
+                result.fall[net] = EdgeTiming(spec.arrival, spec.slew)
+                continue
+            inst = graph.fanin.get(net)
+            require(inst is not None, f"net {net!r} neither input nor driven")
+            entry = self._cell(inst.cell)
+            in_net = inst.input_net
+            load = self.net_load(netlist, net)
+            wire_delay, wire_tau = self._wire_arc(net, load)
+
+            candidates: dict[str, EdgeTiming] = {}
+            for in_edge_name, in_edge in (("rise", result.rise[in_net]),
+                                          ("fall", result.fall[in_net])):
+                delay, out_slew, out_rising = entry.arc.delay_and_slew(
+                    in_edge.slew, load, input_rising=(in_edge_name == "rise"))
+                arrival = in_edge.arrival + delay + wire_delay
+                slew = math.hypot(out_slew, _LN9 * wire_tau)
+                timing = EdgeTiming(arrival=arrival, slew=slew, from_net=in_net)
+                key = "rise" if out_rising else "fall"
+                candidates[key] = timing.later_of(candidates.get(key))
+            # An inverter produces exactly one output edge per input edge,
+            # so both output edges are always populated.
+            result.rise[net] = candidates["rise"]
+            result.fall[net] = candidates["fall"]
+
+        if required_times:
+            self._propagate_required(netlist, graph, result, required_times)
+        return result
+
+    # ------------------------------------------------------------------
+    def _propagate_required(self, netlist: GateNetlist, graph: TimingGraph,
+                            result: StaResult, required_times: dict[str, float]) -> None:
+        """Backward-propagate required times (worst edge, min over fanout)."""
+        required = dict(required_times)
+        for net in reversed(graph.levels()):
+            if net not in required:
+                continue
+            inst = graph.fanin.get(net)
+            if inst is None:
+                continue
+            in_net = inst.input_net
+            # Stage delay actually used on the worst path at this net.
+            _, out_timing = result.worst_edge(net)
+            in_arrival = max(result.rise[in_net].arrival, result.fall[in_net].arrival)
+            stage_delay = out_timing.arrival - in_arrival
+            req_in = required[net] - stage_delay
+            required[in_net] = min(required.get(in_net, math.inf), req_in)
+        result.required.update(required)

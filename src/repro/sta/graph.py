@@ -1,0 +1,104 @@
+"""Timing graph construction and levelisation.
+
+The STA engine works on a DAG whose vertices are *timing points* (net,
+pin) and whose edges are either cell arcs (gate input → gate output) or
+net arcs (driver output → load input, carrying wire delay).  For the
+inverter library every gate contributes one cell arc; nets fan out to any
+number of load pins.
+
+Levelisation is Kahn's algorithm; cycles raise immediately (combinational
+timing graphs must be acyclic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import require
+from .netlist import GateInstance, GateNetlist
+
+__all__ = ["TimingGraph", "TimingGraphError"]
+
+
+class TimingGraphError(ValueError):
+    """Raised on cyclic or malformed timing graphs."""
+
+
+@dataclass
+class TimingGraph:
+    """Net-level timing DAG of a gate netlist.
+
+    Vertices are net names.  ``fanin[net]`` is the driving instance (if
+    any); ``fanout[net]`` lists the instances the net feeds.  Use
+    :meth:`levels` for a topological ordering of nets.
+    """
+
+    netlist: GateNetlist
+    fanin: dict[str, GateInstance] = field(default_factory=dict)
+    fanout: dict[str, list[GateInstance]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, netlist: GateNetlist) -> "TimingGraph":
+        """Compile a validated netlist into its timing graph."""
+        netlist.validate()
+        graph = cls(netlist=netlist)
+        for inst in netlist.instances:
+            require(inst.output_net not in graph.fanin,
+                    f"net {inst.output_net!r} multiply driven")
+            graph.fanin[inst.output_net] = inst
+            graph.fanout.setdefault(inst.input_net, []).append(inst)
+        return graph
+
+    # ------------------------------------------------------------------
+    def levels(self) -> list[str]:
+        """Nets in topological order (primary inputs first).
+
+        Raises
+        ------
+        TimingGraphError
+            If the graph contains a combinational cycle.
+        """
+        indeg: dict[str, int] = {}
+        for net in self.netlist.nets:
+            indeg[net] = 1 if net in self.fanin else 0
+        ready = [net for net, d in indeg.items() if d == 0]
+        for net in ready:
+            if net not in self.netlist.primary_inputs and self.fanout.get(net):
+                raise TimingGraphError(f"undriven internal net {net!r}")
+        order: list[str] = []
+        queue = list(ready)
+        while queue:
+            net = queue.pop(0)
+            order.append(net)
+            for inst in self.fanout.get(net, []):
+                indeg[inst.output_net] -= 1
+                if indeg[inst.output_net] == 0:
+                    queue.append(inst.output_net)
+        if len(order) != len(indeg):
+            missing = sorted(set(indeg) - set(order))
+            raise TimingGraphError(f"combinational cycle involving nets {missing}")
+        return order
+
+    def depth_of(self, net: str) -> int:
+        """Logic depth (number of gate stages) from primary inputs to ``net``."""
+        depth: dict[str, int] = {}
+        for n in self.levels():
+            if n in self.fanin:
+                depth[n] = depth.get(self.fanin[n].input_net, 0) + 1
+            else:
+                depth[n] = 0
+        require(net in depth, f"unknown net {net!r}")
+        return depth[net]
+
+    def transitive_fanin_nets(self, net: str) -> list[str]:
+        """All nets upstream of ``net`` (inclusive), topological order."""
+        keep: set[str] = set()
+        stack = [net]
+        while stack:
+            n = stack.pop()
+            if n in keep:
+                continue
+            keep.add(n)
+            if n in self.fanin:
+                stack.append(self.fanin[n].input_net)
+        return [n for n in self.levels() if n in keep]

@@ -1,0 +1,211 @@
+"""Gate-level netlists for the STA engine.
+
+A :class:`GateNetlist` is a flat graph of cell instances connected by
+named nets, with designated primary inputs and outputs.  Cells come from
+the characterised library (:mod:`repro.library`); this reproduction's
+library is inverters, so instances are single-input/single-output, but the
+netlist model (named pins, per-instance cell reference) is the general
+one used by timing engines.
+
+A tiny structural-Verilog-subset parser is provided for convenience
+(module / input / output / wire declarations and cell instantiations with
+named port connections), so realistic netlists can be written as text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .._util import require
+
+__all__ = ["GateInstance", "GateNetlist", "parse_structural_verilog", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """Raised on malformed netlists."""
+
+
+@dataclass(frozen=True)
+class GateInstance:
+    """One placed cell.
+
+    Attributes
+    ----------
+    name:
+        Instance name (unique).
+    cell:
+        Library cell name, e.g. ``"INVX4"``.
+    input_net / output_net:
+        Connected net names (pin A and pin Y of the inverter library).
+    """
+
+    name: str
+    cell: str
+    input_net: str
+    output_net: str
+
+
+@dataclass
+class GateNetlist:
+    """A combinational gate-level netlist.
+
+    Use :meth:`add_instance` to build programmatically, or
+    :func:`parse_structural_verilog` to read the text form.
+    """
+
+    name: str = "top"
+    primary_inputs: list[str] = field(default_factory=list)
+    primary_outputs: list[str] = field(default_factory=list)
+    instances: list[GateInstance] = field(default_factory=list)
+
+    def add_instance(self, name: str, cell: str, input_net: str, output_net: str
+                     ) -> GateInstance:
+        """Add a gate instance and return it."""
+        require(all(i.name != name for i in self.instances),
+                f"duplicate instance name {name!r}")
+        inst = GateInstance(name=name, cell=cell, input_net=input_net,
+                            output_net=output_net)
+        self.instances.append(inst)
+        return inst
+
+    def add_input(self, net: str) -> None:
+        """Declare a primary input net."""
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+
+    def add_output(self, net: str) -> None:
+        """Declare a primary output net."""
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+
+    # ------------------------------------------------------------------
+    @property
+    def nets(self) -> list[str]:
+        """All net names in first-use order."""
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        for net in self.primary_inputs:
+            if net not in seen_set:
+                seen.append(net)
+                seen_set.add(net)
+        for inst in self.instances:
+            for net in (inst.input_net, inst.output_net):
+                if net not in seen_set:
+                    seen.append(net)
+                    seen_set.add(net)
+        return seen
+
+    def driver_of(self, net: str) -> GateInstance | None:
+        """The instance driving ``net`` (None for primary inputs)."""
+        for inst in self.instances:
+            if inst.output_net == net:
+                return inst
+        return None
+
+    def loads_of(self, net: str) -> list[GateInstance]:
+        """Instances whose input connects to ``net``."""
+        return [inst for inst in self.instances if inst.input_net == net]
+
+    def fanout_count(self, net: str) -> int:
+        """Number of gate inputs on ``net``."""
+        return len(self.loads_of(net))
+
+    def validate(self) -> None:
+        """Check structural sanity.
+
+        Raises
+        ------
+        NetlistError
+            On multiply-driven nets, undriven internal nets, or outputs
+            that no instance drives.
+        """
+        drivers: dict[str, list[str]] = {}
+        for inst in self.instances:
+            drivers.setdefault(inst.output_net, []).append(inst.name)
+        for net, who in drivers.items():
+            if len(who) > 1:
+                raise NetlistError(f"net {net!r} driven by multiple instances: {who}")
+            if net in self.primary_inputs:
+                raise NetlistError(f"primary input {net!r} is also driven by {who[0]}")
+        for inst in self.instances:
+            if inst.input_net not in self.primary_inputs and inst.input_net not in drivers:
+                raise NetlistError(
+                    f"instance {inst.name!r} input net {inst.input_net!r} is undriven"
+                )
+        for net in self.primary_outputs:
+            if net not in drivers and net not in self.primary_inputs:
+                raise NetlistError(f"primary output {net!r} is undriven")
+
+    @classmethod
+    def inverter_chain(cls, drives: list[int], name: str = "chain") -> "GateNetlist":
+        """Convenience constructor: a chain of inverters of given drives."""
+        require(len(drives) >= 1, "need at least one stage")
+        net = cls(name=name)
+        net.add_input("n0")
+        for k, drive in enumerate(drives):
+            net.add_instance(f"u{k}", f"INVX{drive}", f"n{k}", f"n{k + 1}")
+        net.add_output(f"n{len(drives)}")
+        return net
+
+
+# ----------------------------------------------------------------------
+# Structural Verilog subset
+# ----------------------------------------------------------------------
+_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;", re.DOTALL)
+_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
+_INST_RE = re.compile(r"(\w+)\s+(\w+)\s*\(([^;]+)\)\s*;")
+_PORT_RE = re.compile(r"\.(\w+)\s*\(\s*(\w+)\s*\)")
+
+
+def parse_structural_verilog(text: str) -> GateNetlist:
+    """Parse a structural-Verilog subset into a :class:`GateNetlist`.
+
+    Supported: one module; ``input`` / ``output`` / ``wire`` declarations
+    (comma-separated); instantiations with named ports ``.A(net)`` /
+    ``.Y(net)``.  Comments (``//`` and ``/* */``) are stripped.
+
+    Raises
+    ------
+    NetlistError
+        On anything outside the subset.
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    m = _MODULE_RE.search(text)
+    if m is None:
+        raise NetlistError("no module declaration found")
+    netlist = GateNetlist(name=m.group(1))
+    body = text[m.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError("missing endmodule")
+    body = body[:end]
+
+    consumed: list[tuple[int, int]] = []
+    for dm in _DECL_RE.finditer(body):
+        kind = dm.group(1)
+        nets = [n.strip() for n in dm.group(2).split(",") if n.strip()]
+        for net in nets:
+            if kind == "input":
+                netlist.add_input(net)
+            elif kind == "output":
+                netlist.add_output(net)
+            # wires need no registration; nets are implicit
+        consumed.append(dm.span())
+
+    for im in _INST_RE.finditer(body):
+        if any(a <= im.start() < b for a, b in consumed):
+            continue
+        cell, inst_name, ports = im.group(1), im.group(2), im.group(3)
+        if cell in ("input", "output", "wire"):
+            continue
+        conns = dict(_PORT_RE.findall(ports))
+        if "A" not in conns or "Y" not in conns:
+            raise NetlistError(
+                f"instance {inst_name!r}: need named ports .A(...) and .Y(...)"
+            )
+        netlist.add_instance(inst_name, cell, conns["A"], conns["Y"])
+
+    netlist.validate()
+    return netlist

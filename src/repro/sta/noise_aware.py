@@ -1,0 +1,274 @@
+"""Noise-aware timing propagation — "efficient propagation of equivalent
+waveforms throughout the circuit" (the paper's stated goal).
+
+A :class:`NoisyStage` is one victim segment: a driver cell, a coupled RC
+line with aggressors, and the receiving cell.  :func:`propagate_path`
+walks a chain of such stages.  At each coupled stage it
+
+1. simulates the stage circuit driven by the *equivalent ramp* carried in
+   from the previous stage (the STA abstraction — only arrival/slew/shape
+   summary crosses stage boundaries),
+2. extracts the noisy waveform at the receiver input,
+3. collapses it back to a new equivalent ramp with the chosen technique
+   (SGDP by default), and
+4. hands that ramp to the next stage.
+
+A full-waveform reference mode propagates the actual simulated waveform
+instead, so the per-stage and accumulated abstraction error of any
+technique can be measured — the multi-stage generalisation of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import require
+from ..circuit.netlist import Circuit
+from ..circuit.sources import RampSource
+from ..circuit.transient import simulate_transient
+from ..core.ramp import SaturatedRamp
+from ..core.techniques import PropagationInputs, Technique
+from ..core.techniques.sgdp import Sgdp
+from ..core.waveform import Waveform
+from ..interconnect.coupling import CouplingSpec, add_coupled_lines
+from ..interconnect.rcline import RcLineSpec
+from ..library.cells import InverterCell
+
+__all__ = ["AggressorSpec", "NoisyStage", "StageTiming", "propagate_path"]
+
+
+@dataclass(frozen=True)
+class AggressorSpec:
+    """One aggressor coupled to a stage's victim line.
+
+    Attributes
+    ----------
+    coupling:
+        Total coupling capacitance to the victim line (farads).
+    transition_start:
+        Absolute start time of the aggressor driver-input ramp.
+    rising:
+        Direction of the aggressor *line* transition.
+    slew:
+        Aggressor primary-input slew.
+    driver:
+        Aggressor driver cell.
+    """
+
+    coupling: float
+    transition_start: float
+    rising: bool
+    slew: float
+    driver: InverterCell
+
+
+@dataclass(frozen=True)
+class NoisyStage:
+    """One victim stage: driver → coupled line → receiver.
+
+    The receiver of stage *k* is the driver of stage *k+1* in
+    :func:`propagate_path`; the last stage's receiver output is the path
+    endpoint.
+    """
+
+    driver: InverterCell
+    line: RcLineSpec
+    receiver: InverterCell
+    aggressors: tuple[AggressorSpec, ...] = ()
+    receiver_load: float = 10e-15
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Result of propagating through one stage.
+
+    Attributes
+    ----------
+    ramp:
+        Equivalent ramp at the receiver *output* handed to the next stage
+        (technique mode) — or the fitted summary of the actual waveform
+        (reference mode).
+    v_receiver_in / v_receiver_out:
+        Simulated waveforms at the receiver input (far end of the line)
+        and output.
+    output_arrival:
+        Latest 0.5·Vdd crossing of the receiver output.
+    output_slew:
+        Receiver output 10–90% transition time.
+    """
+
+    ramp: SaturatedRamp
+    v_receiver_in: Waveform
+    v_receiver_out: Waveform
+    output_arrival: float
+    output_slew: float
+
+
+def _build_stage_circuit(stage: NoisyStage, vdd: float) -> tuple[Circuit, dict[str, float], str, str]:
+    """Stage netlist with a forced source at the driver input.
+
+    Returns (circuit, initial voltages, far-end node, receiver output node).
+    """
+    circuit = Circuit("stage")
+    circuit.vsource("Vdd", "vdd", "0", vdd)
+    stage.driver.instantiate(circuit, "drv", "in", "near", "vdd")
+
+    terminals = [("near", "far")]
+    specs = [stage.line]
+    couplings = []
+    for k, agg in enumerate(stage.aggressors):
+        a_in, a_near, a_far = f"a{k}_in", f"a{k}_near", f"a{k}_far"
+        v_from, v_to = (vdd, 0.0) if agg.rising else (0.0, vdd)
+        circuit.vsource(f"Va{k}", a_in, "0",
+                        RampSource(agg.transition_start, agg.slew, v_from, v_to))
+        agg.driver.instantiate(circuit, f"adrv{k}", a_in, a_near, "vdd")
+        circuit.capacitor(f"acl{k}", a_far, "0", 5e-15)
+        terminals.append((a_near, a_far))
+        specs.append(stage.line)
+        couplings.append(CouplingSpec(line_a=0, line_b=k + 1, total_cm=agg.coupling))
+    add_coupled_lines(circuit, "net", terminals, specs, couplings)
+
+    stage.receiver.instantiate(circuit, "recv", "far", "out", "vdd")
+    if stage.receiver_load > 0:
+        circuit.capacitor("cl", "out", "0", stage.receiver_load)
+    return circuit, {}, "far", "out"
+
+
+def _stage_initial(stage: NoisyStage, vdd: float, input_level: float) -> dict[str, float]:
+    """Logic-consistent pre-transition node voltages for fast DC solves."""
+    near = vdd - input_level if input_level in (0.0, vdd) else vdd / 2
+    initial = {"in": input_level, "near": near, "far": near,
+               "out": vdd - near, "vdd": vdd}
+    for k, agg in enumerate(stage.aggressors):
+        a_from = vdd if agg.rising else 0.0
+        initial[f"a{k}_in"] = a_from
+        initial[f"a{k}_near"] = vdd - a_from
+        initial[f"a{k}_far"] = vdd - a_from
+    return initial
+
+
+def propagate_path(
+    stages: list[NoisyStage],
+    input_ramp: SaturatedRamp,
+    technique: Technique | None = None,
+    dt: float = 2e-12,
+    settle_margin: float = 800e-12,
+    full_waveform: bool = False,
+) -> list[StageTiming]:
+    """Propagate timing through a chain of (possibly coupled) stages.
+
+    Parameters
+    ----------
+    stages:
+        The victim path, driver side first.
+    input_ramp:
+        Equivalent waveform at the first driver input.
+    technique:
+        Equivalent-waveform technique used at stage boundaries (default
+        SGDP).  Ignored in ``full_waveform`` mode.
+    dt:
+        Simulation step.
+    settle_margin:
+        Extra simulated time past the stimulus end.
+    full_waveform:
+        ``True`` propagates the actual simulated waveform between stages
+        (reference mode) instead of the equivalent ramp.
+
+    Returns
+    -------
+    list[StageTiming]
+        One entry per stage, in path order.
+    """
+    require(len(stages) >= 1, "need at least one stage")
+    tech = technique or Sgdp()
+    results: list[StageTiming] = []
+    stimulus: "Waveform | SaturatedRamp" = input_ramp
+
+    for stage in stages:
+        vdd = stage.driver.vdd
+        if isinstance(stimulus, SaturatedRamp):
+            t0 = stimulus.t_begin - 100e-12
+            t1 = stimulus.t_finish + settle_margin
+            wave_in = stimulus.to_waveform(t0, t1)
+        else:
+            wave_in = stimulus
+            t1 = wave_in.t_end
+
+        # The aggressor windows may extend past the victim stimulus.
+        for agg in stage.aggressors:
+            t1 = max(t1, agg.transition_start + agg.slew / 0.8 + settle_margin)
+
+        circuit, _, far, out = _build_stage_circuit(stage, vdd)
+        if wave_in.t_end < t1:
+            wave_in = Waveform(list(wave_in.times) + [t1],
+                               list(wave_in.values) + [wave_in.v_final])
+        circuit.vsource("Vin", "in", "0", wave_in)
+        initial = _stage_initial(stage, vdd, wave_in.v_initial)
+        sim = simulate_transient(circuit, t_stop=t1, dt=dt,
+                                 t_start=wave_in.t_start, initial_voltages=initial)
+        v_far = sim.waveform(far)
+        v_out = sim.waveform(out)
+
+        # Noiseless reference for the receiver: same stage, quiet aggressors.
+        quiet = NoisyStage(driver=stage.driver, line=stage.line,
+                           receiver=stage.receiver, aggressors=(),
+                           receiver_load=stage.receiver_load)
+        qc, _, qfar, qout = _build_stage_circuit(quiet, vdd)
+        qc.vsource("Vin", "in", "0", wave_in)
+        qsim = simulate_transient(qc, t_stop=t1, dt=dt, t_start=wave_in.t_start,
+                                  initial_voltages=_stage_initial(quiet, vdd,
+                                                                  wave_in.v_initial))
+        inputs = PropagationInputs(
+            v_in_noisy=v_far, vdd=vdd,
+            v_in_noiseless=qsim.waveform(qfar),
+            v_out_noiseless=qsim.waveform(qout),
+        )
+        gamma_in = tech.equivalent_waveform(inputs)
+
+        arrival = v_out.arrival_time(vdd, which="last")
+        try:
+            out_slew = v_out.slew(vdd)
+        except ValueError:
+            out_slew = float("nan")
+        out_rising = v_out.polarity() == "rising"
+        # Summary of the receiver *output* as (arrival, slew) — what a
+        # conventional STA would carry across the stage boundary.
+        out_ramp = SaturatedRamp.from_arrival_slew(
+            arrival=arrival, slew=out_slew if out_slew == out_slew else 100e-12,
+            vdd=vdd, rising=out_rising)
+        results.append(StageTiming(
+            ramp=out_ramp,
+            v_receiver_in=v_far,
+            v_receiver_out=v_out,
+            output_arrival=arrival,
+            output_slew=out_slew,
+        ))
+
+        if full_waveform:
+            stimulus = v_out
+        else:
+            # Re-time the receiver from the equivalent input waveform: the
+            # next stage sees only the abstraction, as a real STA would.
+            g0 = gamma_in.t_begin - 100e-12
+            g1 = gamma_in.t_finish + settle_margin
+            gamma_wave = gamma_in.to_waveform(min(g0, wave_in.t_start), max(g1, t1))
+            re_c = Circuit("retime")
+            re_c.vsource("Vdd", "vdd", "0", vdd)
+            stage.receiver.instantiate(re_c, "recv", "far", "out", "vdd")
+            re_c.capacitor("cl", "out", "0", stage.receiver_load)
+            re_c.vsource("Vfar", "far", "0", gamma_wave)
+            re_init = {"far": gamma_wave.v_initial, "vdd": vdd,
+                       "out": vdd - gamma_wave.v_initial}
+            re_sim = simulate_transient(re_c, t_stop=gamma_wave.t_end, dt=dt,
+                                        t_start=gamma_wave.t_start,
+                                        initial_voltages=re_init)
+            re_v_out = re_sim.waveform("out")
+            arr = re_v_out.arrival_time(vdd, which="last")
+            try:
+                slw = re_v_out.slew(vdd)
+            except ValueError:
+                slw = 100e-12
+            stimulus = SaturatedRamp.from_arrival_slew(
+                arrival=arr, slew=slw, vdd=vdd,
+                rising=re_v_out.polarity() == "rising")
+    return results

@@ -1,0 +1,54 @@
+"""Synthetic-waveform builders shared across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.waveform import Waveform
+
+VDD = 1.2
+
+
+def sigmoid_edge(t50: float, slew: float, vdd: float = VDD, rising: bool = True,
+                 t_start: float | None = None, t_end: float | None = None,
+                 n: int = 801) -> Waveform:
+    """A smooth tanh edge with given 50% crossing and 10-90% slew.
+
+    tanh hits +/-0.8 (the 10/90 levels) at +/-1.0986 normalised units,
+    which fixes the time scale exactly, so ``slew`` is met analytically.
+    """
+    scale = slew / (2.0 * np.arctanh(0.8))
+    lo = t50 - 6.0 * scale if t_start is None else t_start
+    hi = t50 + 6.0 * scale if t_end is None else t_end
+    t = np.linspace(lo, hi, n)
+    v = 0.5 * vdd * (1.0 + np.tanh((t - t50) / scale))
+    if not rising:
+        v = vdd - v
+    return Waveform(t, v)
+
+
+def bumped_edge(t50: float, slew: float, bump_at: float, bump_height: float,
+                bump_width: float, vdd: float = VDD, n: int = 1601,
+                t_start: float | None = None, t_end: float | None = None) -> Waveform:
+    """A rising tanh edge with a Gaussian crosstalk bump added."""
+    base = sigmoid_edge(t50, slew, vdd, True,
+                        t_start=t_start if t_start is not None else t50 - 8 * slew,
+                        t_end=t_end if t_end is not None else t50 + 8 * slew, n=n)
+    t = base.times
+    bump = bump_height * np.exp(-0.5 * ((t - bump_at) / bump_width) ** 2)
+    return Waveform(t, np.clip(base.values + bump, -0.3 * vdd, 1.3 * vdd))
+
+
+def synthetic_gate_pair(t50: float = 1.0e-9, slew: float = 200e-12,
+                        delay: float = 60e-12, vdd: float = VDD
+                        ) -> tuple[Waveform, Waveform]:
+    """An analytic (input, output) pair for an inverting gate.
+
+    Output is a falling edge, slightly faster, delayed by ``delay`` -- it
+    overlaps the input, so the sensitivity is well defined.
+    """
+    v_in = sigmoid_edge(t50, slew, vdd, rising=True,
+                        t_start=t50 - 5 * slew, t_end=t50 + 5 * slew)
+    v_out = sigmoid_edge(t50 + delay, 0.8 * slew, vdd, rising=False,
+                         t_start=t50 - 5 * slew, t_end=t50 + 5 * slew)
+    return v_in, v_out

@@ -1,0 +1,188 @@
+"""Tests for circuit netlist construction, sources and the MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.mosfet import MosfetParams, NMOS_013, PMOS_013, mosfet_eval
+from repro.circuit.netlist import Circuit, GROUND
+from repro.circuit.sources import (
+    Dc,
+    Pwl,
+    PulseSource,
+    RampSource,
+    WaveformSource,
+    as_source,
+)
+from repro.core.waveform import Waveform
+
+
+class TestSources:
+    def test_dc(self):
+        s = Dc(1.2)
+        assert s(0.0) == 1.2
+        assert np.allclose(s(np.array([0.0, 1.0])), 1.2)
+        assert s.breakpoints == ()
+
+    def test_pwl_interpolates_and_clamps(self):
+        s = Pwl([(0.0, 0.0), (1.0, 2.0)])
+        assert s(0.5) == pytest.approx(1.0)
+        assert s(-1.0) == 0.0
+        assert s(2.0) == 2.0
+
+    def test_pwl_rejects_duplicate_times(self):
+        with pytest.raises(ValueError):
+            Pwl([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_pwl_breakpoints_sorted(self):
+        s = Pwl([(1.0, 1.0), (0.0, 0.0)])
+        assert s.breakpoints == (0.0, 1.0)
+
+    def test_ramp_source_duration(self):
+        s = RampSource(0.0, 80e-12, 0.0, 1.2)
+        assert s.duration == pytest.approx(100e-12)
+        assert s(50e-12) == pytest.approx(0.6)
+
+    def test_pulse_source_shape(self):
+        s = PulseSource(0.0, rise=1e-10, width=2e-10, fall=1e-10,
+                        v_base=0.0, v_peak=1.0)
+        assert s(1.5e-10) == pytest.approx(1.0)
+        assert s(5e-10) == pytest.approx(0.0)
+
+    def test_waveform_source(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        s = WaveformSource(w)
+        assert s(0.5) == pytest.approx(0.5)
+        assert len(s.breakpoints) == 2
+
+    def test_as_source_dispatch(self):
+        assert isinstance(as_source(1.0), Dc)
+        assert isinstance(as_source([(0.0, 0.0), (1.0, 1.0)]), Pwl)
+        assert isinstance(as_source(Waveform([0.0, 1.0], [0.0, 1.0])), WaveformSource)
+        src = Dc(2.0)
+        assert as_source(src) is src
+
+
+class TestCircuitBuilder:
+    def test_ground_aliases_fold(self):
+        c = Circuit()
+        c.resistor("R1", "a", "gnd", 10.0)
+        c.resistor("R2", "b", "VSS", 10.0)
+        assert c.resistors[0].node_b == GROUND
+        assert c.resistors[1].node_b == GROUND
+        assert c.nodes == ["a", "b"]
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 10.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            c.capacitor("R1", "a", "0", 1e-12)
+
+    def test_self_loop_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.resistor("R1", "a", "a", 10.0)
+
+    def test_negative_values_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            c.resistor("R1", "a", "0", -1.0)
+        with pytest.raises(ValueError):
+            c.capacitor("C1", "a", "0", 0.0)
+
+    def test_mosfet_parasitics_added(self):
+        c = Circuit()
+        c.vsource("Vdd", "vdd", "0", 1.2)
+        c.mosfet("M1", "out", "in", "0", NMOS_013, w=1e-6, length=0.13e-6)
+        names = {cap.name for cap in c.capacitors}
+        assert {"M1.cgs", "M1.cgd", "M1.cdb"} <= names
+
+    def test_mosfet_without_parasitics(self):
+        c = Circuit()
+        c.mosfet("M1", "out", "in", "0", NMOS_013, w=1e-6, length=0.13e-6,
+                 with_parasitics=False)
+        assert not c.capacitors
+
+    def test_inverter_composite(self):
+        c = Circuit()
+        c.vsource("Vdd", "vdd", "0", 1.2)
+        c.inverter("inv", "a", "y", "vdd", wn=0.5e-6, wp=1.0e-6)
+        assert len(c.mosfets) == 2
+        polarities = sorted(m.params.polarity for m in c.mosfets)
+        assert polarities == [-1, 1]
+
+    def test_stats(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", 1.0)
+        c.resistor("R1", "a", "b", 10.0)
+        c.capacitor("C1", "b", "0", 1e-12)
+        s = c.stats()
+        assert (s["nodes"], s["resistors"], s["capacitors"], s["vsources"]) == (2, 1, 1, 1)
+
+
+class TestMosfetModel:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            MosfetParams(polarity=2, kp=1e-4, vth=0.3, lam=0.0, cox=0.01, cj=1e-9)
+        with pytest.raises(ValueError):
+            MosfetParams(polarity=1, kp=-1.0, vth=0.3, lam=0.0, cox=0.01, cj=1e-9)
+
+    def test_beta_and_caps_scale_with_width(self):
+        b1 = NMOS_013.beta(1e-6, 0.13e-6)
+        b2 = NMOS_013.beta(2e-6, 0.13e-6)
+        assert b2 == pytest.approx(2 * b1)
+        assert NMOS_013.gate_capacitance(2e-6, 0.13e-6) == pytest.approx(
+            2 * NMOS_013.gate_capacitance(1e-6, 0.13e-6))
+
+    def _eval_single(self, vd, vg, vs, params):
+        ids, dd, dg, ds = mosfet_eval(
+            np.array([vd]), np.array([vg]), np.array([vs]),
+            np.array([params.polarity]),
+            np.array([params.beta(1e-6, 0.13e-6)]),
+            np.array([params.vth]), np.array([params.lam]))
+        return float(ids[0]), float(dd[0]), float(dg[0]), float(ds[0])
+
+    def test_nmos_cutoff(self):
+        ids, *_ = self._eval_single(1.2, 0.0, 0.0, NMOS_013)
+        # Smoothed model leaks a little near threshold but stays tiny off.
+        assert abs(ids) < 1e-6
+
+    def test_nmos_saturation_positive_current(self):
+        ids, dd, dg, ds = self._eval_single(1.2, 1.2, 0.0, NMOS_013)
+        assert ids > 1e-4           # strong conduction into the drain
+        assert dg > 0               # gm positive
+        assert dd > 0               # gds positive (CLM)
+
+    def test_nmos_triode_less_than_saturation(self):
+        ids_tri, *_ = self._eval_single(0.05, 1.2, 0.0, NMOS_013)
+        ids_sat, *_ = self._eval_single(1.2, 1.2, 0.0, NMOS_013)
+        assert 0 < ids_tri < ids_sat
+
+    def test_pmos_mirrors_nmos(self):
+        # PMOS with source at vdd conducting when gate low.
+        ids, *_ = self._eval_single(0.0, 0.0, 1.2, PMOS_013)
+        assert ids < -1e-4          # current flows out of the drain terminal
+
+    def test_drain_source_symmetry(self):
+        # Swapping drain and source negates the current.
+        f, *_ = self._eval_single(1.0, 1.2, 0.0, NMOS_013)
+        r, *_ = self._eval_single(0.0, 1.2, 1.0, NMOS_013)
+        assert f == pytest.approx(-r, rel=1e-9)
+
+    def test_derivatives_match_finite_difference(self):
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            vd, vg, vs = rng.uniform(0.0, 1.2, size=3)
+            ids, dd, dg, ds = self._eval_single(vd, vg, vs, NMOS_013)
+            h = 1e-7
+            fd_d = (self._eval_single(vd + h, vg, vs, NMOS_013)[0] - ids) / h
+            fd_g = (self._eval_single(vd, vg + h, vs, NMOS_013)[0] - ids) / h
+            fd_s = (self._eval_single(vd, vg, vs + h, NMOS_013)[0] - ids) / h
+            scale = max(abs(ids) * 10, 1e-5)
+            assert dd == pytest.approx(fd_d, abs=scale * 2e-2)
+            assert dg == pytest.approx(fd_g, abs=scale * 2e-2)
+            assert ds == pytest.approx(fd_s, abs=scale * 2e-2)
+
+    def test_current_continuity_across_vds_zero(self):
+        lo, *_ = self._eval_single(-1e-6, 1.0, 0.0, NMOS_013)
+        hi, *_ = self._eval_single(+1e-6, 1.0, 0.0, NMOS_013)
+        assert lo == pytest.approx(hi, abs=1e-8)

@@ -1,0 +1,47 @@
+"""Tests for error statistics and formatting."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import error_stats, format_ps
+
+
+class TestErrorStats:
+    def test_basic_statistics(self):
+        s = error_stats([1e-12, -3e-12, 2e-12])
+        assert s.count == 3
+        assert s.failures == 0
+        assert s.max_abs == pytest.approx(3e-12)
+        assert s.mean_abs == pytest.approx(2e-12)
+        assert s.mean_signed == pytest.approx(0.0, abs=1e-15)
+
+    def test_rms(self):
+        s = error_stats([3e-12, 4e-12])
+        assert s.rms == pytest.approx(math.sqrt((9 + 16) / 2) * 1e-12)
+
+    def test_failures_counted(self):
+        s = error_stats([1e-12, None, None])
+        assert s.count == 1 and s.failures == 2
+
+    def test_all_failures_gives_nan(self):
+        s = error_stats([None, None])
+        assert s.count == 0
+        assert math.isnan(s.max_abs)
+
+    def test_ps_properties(self):
+        s = error_stats([5e-12])
+        assert s.max_ps == pytest.approx(5.0)
+        assert s.avg_ps == pytest.approx(5.0)
+
+    def test_bias_sign_convention(self):
+        s = error_stats([10e-12, 20e-12])
+        assert s.mean_signed > 0  # pessimistic
+
+
+class TestFormatting:
+    def test_format_ps(self):
+        assert format_ps(12.34e-12).strip() == "12.3"
+
+    def test_format_nan(self):
+        assert format_ps(float("nan")).strip() == "n/a"

@@ -1,0 +1,77 @@
+"""Tests for GateFixture and the technique-evaluation driver."""
+
+import math
+
+import pytest
+
+from repro.core.propagation import GateFixture, evaluate_techniques
+from repro.core.ramp import SaturatedRamp
+from repro.core.techniques import PropagationInputs, technique_by_name
+from repro.library.cells import standard_cell
+
+from tests.helpers import VDD, sigmoid_edge
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    return GateFixture(cell=standard_cell(4), chain=(standard_cell(16),),
+                       dt=4e-12)
+
+
+class TestGateFixture:
+    def test_ramp_stimulus_default_window(self, fixture):
+        ramp = SaturatedRamp.from_arrival_slew(0.5e-9, 150e-12, VDD)
+        out = fixture.response(ramp)
+        assert out.output_arrival > ramp.arrival_time()
+        assert out.gate_delay > 0
+        assert not math.isnan(out.output_slew)
+
+    def test_waveform_stimulus_extends_settled_tail(self, fixture):
+        wave = sigmoid_edge(0.5e-9, 150e-12, t_start=0.0, t_end=0.9e-9)
+        out = fixture.response(wave, t_window=(0.0, 1.8e-9))
+        # The record is extended with its settled value, so the output
+        # completes even though the stimulus record ended early.
+        assert out.v_out.v_final == pytest.approx(0.0, abs=0.02)
+
+    def test_falling_stimulus(self, fixture):
+        ramp = SaturatedRamp.from_arrival_slew(0.5e-9, 150e-12, VDD, rising=False)
+        out = fixture.response(ramp)
+        assert out.v_out.v_final == pytest.approx(VDD, abs=0.02)
+
+    def test_extra_load_slows_gate(self):
+        light = GateFixture(cell=standard_cell(4), dt=4e-12, extra_load=2e-15)
+        heavy = GateFixture(cell=standard_cell(4), dt=4e-12, extra_load=60e-15)
+        ramp = SaturatedRamp.from_arrival_slew(0.5e-9, 150e-12, VDD)
+        assert heavy.response(ramp).gate_delay > light.response(ramp).gate_delay
+
+    def test_gate_delay_definition(self, fixture):
+        ramp = SaturatedRamp.from_arrival_slew(0.5e-9, 150e-12, VDD)
+        out = fixture.response(ramp)
+        assert out.gate_delay == pytest.approx(
+            out.output_arrival - out.v_in.arrival_time(VDD, which="last"),
+            abs=1e-15)
+
+
+class TestEvaluateTechniques:
+    def test_records_failures_instead_of_raising(self, fixture):
+        # WLS5 without a noiseless reference must surface as `failed`.
+        inputs = PropagationInputs(
+            v_in_noisy=sigmoid_edge(0.5e-9, 150e-12, t_start=0.0, t_end=1.5e-9),
+            vdd=VDD)
+        golden, results = evaluate_techniques(
+            fixture, inputs, [technique_by_name("WLS5"), technique_by_name("P2")])
+        assert results["WLS5"].failed is not None
+        assert results["WLS5"].delay_error is None
+        assert results["P2"].failed is None
+        assert results["P2"].delay_error is not None
+
+    def test_reuses_precomputed_golden(self, fixture):
+        wave = sigmoid_edge(0.5e-9, 150e-12, t_start=0.0, t_end=1.5e-9)
+        inputs = PropagationInputs(v_in_noisy=wave, vdd=VDD)
+        golden = fixture.response(wave)
+        golden2, results = evaluate_techniques(fixture, inputs,
+                                               [technique_by_name("P2")],
+                                               golden=golden)
+        assert golden2 is golden
+        # Clean stimulus: P2's ramp reproduces the golden delay closely.
+        assert abs(results["P2"].delay_error) < 30e-12

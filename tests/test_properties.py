@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin algebraic invariants that hold for *any* waveform/ramp/table,
+not just the hand-picked examples of the unit tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ramp import SaturatedRamp
+from repro.core.techniques import fit_line_weighted
+from repro.core.waveform import Waveform
+from repro.library.nldm import NldmTable
+
+from tests.helpers import VDD
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+# Picosecond-grid times: well separated so float operations (shifts,
+# interpolation) cannot collapse adjacent samples.
+times_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000),
+    min_size=4, max_size=40, unique=True,
+).map(lambda ticks: [t * 1e-12 for t in sorted(ticks)])
+
+voltages_strategy = st.lists(
+    st.floats(min_value=-0.5, max_value=2.0, allow_nan=False),
+    min_size=4, max_size=40,
+)
+
+
+@st.composite
+def waveforms(draw):
+    t = draw(times_strategy)
+    v = draw(st.lists(st.floats(min_value=-0.5, max_value=2.0, allow_nan=False),
+                      min_size=len(t), max_size=len(t)))
+    return Waveform(t, v)
+
+
+@st.composite
+def monotone_rising_waveforms(draw):
+    t = draw(times_strategy)
+    steps = draw(st.lists(st.floats(min_value=0.0, max_value=0.3),
+                          min_size=len(t), max_size=len(t)))
+    v = np.cumsum(steps)
+    return Waveform(t, v)
+
+
+@st.composite
+def ramps(draw):
+    arrival = draw(st.floats(min_value=1e-10, max_value=5e-9))
+    slew = draw(st.floats(min_value=1e-12, max_value=2e-9))
+    rising = draw(st.booleans())
+    return SaturatedRamp.from_arrival_slew(arrival, slew, VDD, rising=rising)
+
+
+# ----------------------------------------------------------------------
+# Waveform invariants
+# ----------------------------------------------------------------------
+class TestWaveformProperties:
+    @given(waveforms(), st.floats(min_value=-1e-9, max_value=1e-9))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_preserves_values(self, w, dt):
+        s = w.shifted(dt)
+        mid = 0.5 * (w.t_start + w.t_end)
+        assert s(mid + dt) == pytest.approx(w(mid), abs=1e-9)
+
+    @given(waveforms())
+    @settings(max_examples=60, deadline=None)
+    def test_evaluation_bounded_by_extremes(self, w):
+        ts = np.linspace(w.t_start, w.t_end, 17)
+        vals = np.asarray(w(ts))
+        assert np.all(vals >= w.v_min - 1e-12)
+        assert np.all(vals <= w.v_max + 1e-12)
+
+    @given(waveforms())
+    @settings(max_examples=60, deadline=None)
+    def test_double_polarity_reverse_is_identity(self, w):
+        rr = w.reversed_polarity(VDD).reversed_polarity(VDD)
+        assert np.allclose(rr.values, w.values, atol=1e-12)
+
+    @given(monotone_rising_waveforms(), st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_waveform_crosses_interior_level_once(self, w, frac):
+        level = w.v_initial + frac * (w.v_final - w.v_initial)
+        if w.v_final - w.v_initial < 1e-6:
+            return  # effectively flat — nothing to cross
+        hits = w.crossings(level)
+        # Strictly within the span, a monotone curve crosses 1+ times and
+        # all crossings collapse onto flat segments if repeated.
+        assert hits.size >= 1
+        assert np.all(np.diff(hits) >= 0)
+
+    @given(waveforms())
+    @settings(max_examples=60, deadline=None)
+    def test_integral_additivity(self, w):
+        mid = 0.5 * (w.t_start + w.t_end)
+        if mid <= w.t_start or mid >= w.t_end:
+            return
+        total = w.integral()
+        parts = w.integral(w.t_start, mid) + w.integral(mid, w.t_end)
+        assert parts == pytest.approx(total, rel=1e-6, abs=1e-18)
+
+    @given(waveforms(), st.integers(min_value=2, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_resample_endpoints_preserved(self, w, n):
+        r = w.resampled(n=n)
+        assert r.v_initial == pytest.approx(w.v_initial, abs=1e-12)
+        assert r.v_final == pytest.approx(w.v_final, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Ramp invariants
+# ----------------------------------------------------------------------
+class TestRampProperties:
+    @given(ramps())
+    @settings(max_examples=80, deadline=None)
+    def test_arrival_slew_roundtrip(self, r):
+        again = SaturatedRamp.from_arrival_slew(r.arrival_time(), r.slew(), VDD,
+                                                rising=r.rising)
+        assert again.a == pytest.approx(r.a, rel=1e-9)
+        assert again.b == pytest.approx(r.b, rel=1e-6, abs=1e-9)
+
+    @given(ramps(), st.floats(min_value=-1e-9, max_value=1e-9))
+    @settings(max_examples=80, deadline=None)
+    def test_shift_moves_arrival_linearly(self, r, dt):
+        assert r.shifted(dt).arrival_time() == pytest.approx(
+            r.arrival_time() + dt, abs=1e-15)
+
+    @given(ramps())
+    @settings(max_examples=80, deadline=None)
+    def test_clamped_evaluation_within_rails(self, r):
+        ts = np.linspace(r.t_begin - 1e-9, r.t_finish + 1e-9, 33)
+        vals = np.asarray(r(ts))
+        assert np.all(vals >= 0.0) and np.all(vals <= VDD)
+
+    @given(ramps())
+    @settings(max_examples=80, deadline=None)
+    def test_waveform_agrees_with_callable(self, r):
+        w = r.to_waveform(r.t_begin - 0.5e-9, r.t_finish + 0.5e-9)
+        ts = np.linspace(w.t_start, w.t_end, 17)
+        assert np.allclose(np.asarray(w(ts)), np.asarray(r(ts)), atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Weighted line fit invariants
+# ----------------------------------------------------------------------
+class TestFitProperties:
+    @given(
+        st.floats(min_value=-5e9, max_value=5e9).filter(lambda a: abs(a) > 1e6),
+        st.floats(min_value=-5.0, max_value=5.0),
+        st.integers(min_value=5, max_value=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_line_recovery(self, a, b, n):
+        t = np.linspace(1e-9, 3e-9, n)
+        v = a * t + b
+        fa, fb = fit_line_weighted(t, v)
+        assert fa == pytest.approx(a, rel=1e-6)
+        assert fa * 2e-9 + fb == pytest.approx(a * 2e-9 + b, abs=1e-6)
+
+    @given(st.integers(min_value=5, max_value=40),
+           st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_weight_scaling_invariance(self, n, scale):
+        rng = np.random.default_rng(n)
+        t = np.linspace(0.0, 1e-9, n)
+        v = 1e9 * t + rng.normal(0, 0.01, n)
+        w = rng.uniform(0.1, 1.0, n)
+        a1, b1 = fit_line_weighted(t, v, w)
+        a2, b2 = fit_line_weighted(t, v, w * scale)
+        assert a1 == pytest.approx(a2, rel=1e-9)
+        assert b1 == pytest.approx(b2, rel=1e-9, abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# NLDM table invariants
+# ----------------------------------------------------------------------
+@st.composite
+def tables(draw):
+    n_s = draw(st.integers(min_value=2, max_value=6))
+    n_l = draw(st.integers(min_value=2, max_value=6))
+    slews = np.cumsum(draw(st.lists(st.floats(min_value=1e-12, max_value=1e-10),
+                                    min_size=n_s, max_size=n_s)))
+    loads = np.cumsum(draw(st.lists(st.floats(min_value=1e-16, max_value=1e-14),
+                                    min_size=n_l, max_size=n_l)))
+    vals = np.array(draw(st.lists(
+        st.lists(st.floats(min_value=1e-12, max_value=1e-9),
+                 min_size=n_l, max_size=n_l),
+        min_size=n_s, max_size=n_s)))
+    return NldmTable(slews, loads, vals)
+
+
+class TestNldmProperties:
+    @given(tables())
+    @settings(max_examples=60, deadline=None)
+    def test_grid_points_exact(self, table):
+        for i, s in enumerate(table.input_slews):
+            for j, ld in enumerate(table.loads):
+                assert table.lookup(float(s), float(ld)) == pytest.approx(
+                    table.values[i, j], rel=1e-9)
+
+    @given(tables(), st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_interior_lookup_within_cell_bounds(self, table, fs, fl):
+        s = table.input_slews[0] + fs * (table.input_slews[-1] - table.input_slews[0])
+        ld = table.loads[0] + fl * (table.loads[-1] - table.loads[0])
+        val = table.lookup(float(s), float(ld))
+        assert table.values.min() - 1e-15 <= val <= table.values.max() + 1e-15

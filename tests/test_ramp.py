@@ -1,0 +1,104 @@
+"""Tests for SaturatedRamp (the Γ_eff representation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ramp import SaturatedRamp
+from repro.core.waveform import TransitionPolarity
+
+from tests.helpers import VDD
+
+
+class TestConstruction:
+    def test_rejects_zero_slope(self):
+        with pytest.raises(ValueError):
+            SaturatedRamp(a=0.0, b=0.0, vdd=VDD)
+
+    def test_rejects_nonpositive_vdd(self):
+        with pytest.raises(ValueError):
+            SaturatedRamp(a=1e9, b=0.0, vdd=0.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            SaturatedRamp(a=float("nan"), b=0.0, vdd=VDD)
+
+    def test_from_arrival_slew_roundtrip(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=150e-12, vdd=VDD)
+        assert r.arrival_time() == pytest.approx(1e-9)
+        assert r.slew() == pytest.approx(150e-12)
+        assert r.rising
+
+    def test_from_arrival_slew_falling(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=150e-12, vdd=VDD,
+                                            rising=False)
+        assert not r.rising
+        assert r.polarity == TransitionPolarity.FALLING
+        assert r.slew() == pytest.approx(150e-12)
+
+    def test_from_points(self):
+        r = SaturatedRamp.from_points(0.0, 0.0, 1e-9, VDD, VDD)
+        assert r.a == pytest.approx(VDD / 1e-9)
+        assert r.time_at(0.6) == pytest.approx(0.5e-9)
+
+    def test_from_points_equal_times_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatedRamp.from_points(1.0, 0.0, 1.0, 1.0, VDD)
+
+
+class TestEvaluation:
+    def test_clamps_to_rails(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        assert r(0.0) == 0.0
+        assert r(5e-9) == VDD
+
+    def test_midpoint_value(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        assert r(1e-9) == pytest.approx(0.5 * VDD)
+
+    def test_rail_times_ordered(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        assert r.t_begin < r.arrival_time() < r.t_finish
+        assert r.t_begin == pytest.approx(r.t_low_rail)
+
+    def test_rail_times_falling(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD,
+                                            rising=False)
+        assert r.t_begin == pytest.approx(r.t_high_rail)
+        assert r.t_begin < r.t_finish
+
+    def test_vectorised(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        out = r(np.array([0.0, 1e-9, 5e-9]))
+        assert out.shape == (3,)
+
+
+class TestConversions:
+    def test_to_waveform_exact_breakpoints(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        w = r.to_waveform(0.0, 3e-9)
+        assert w.v_initial == 0.0 and w.v_final == VDD
+        # Breakpoint representation reproduces the ramp exactly.
+        assert w(r.arrival_time()) == pytest.approx(0.5 * VDD, abs=1e-9)
+        assert w.slew(VDD) == pytest.approx(100e-12, rel=1e-6)
+
+    def test_to_waveform_sampled(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        w = r.to_waveform(0.0, 3e-9, n=301)
+        assert len(w) == 301
+
+    def test_to_pwl_pairs(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        pts = r.to_pwl(0.0, 3e-9)
+        assert pts[0] == (0.0, 0.0)
+        assert pts[-1][1] == pytest.approx(VDD)
+
+    def test_shifted_moves_arrival(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        s = r.shifted(25e-12)
+        assert s.arrival_time() == pytest.approx(1e-9 + 25e-12)
+        assert s.slew() == pytest.approx(r.slew())
+
+    def test_slew_custom_thresholds(self):
+        r = SaturatedRamp.from_arrival_slew(arrival=1e-9, slew=100e-12, vdd=VDD)
+        # 20-80 measurement spans 60% of the swing vs 80% for 10-90.
+        assert r.slew(0.2, 0.8) == pytest.approx(100e-12 * 0.6 / 0.8)

@@ -1,0 +1,244 @@
+"""Tests for the STA engine: netlists, timing graph, analysis, noise-aware."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect.rcline import RcLineSpec
+from repro.library.cells import make_inverter
+from repro.library.characterize import CharacterizedCell
+from repro.library.nldm import NldmTable, TimingArc
+from repro.sta.analysis import InputSpec, StaEngine
+from repro.sta.graph import TimingGraph, TimingGraphError
+from repro.sta.netlist import GateNetlist, NetlistError, parse_structural_verilog
+
+VDD = 1.2
+
+
+# ----------------------------------------------------------------------
+# A synthetic library with analytically simple tables:
+#     delay = d0 * drive_factor + 0.1 * slew + 1e9 * load / drive
+#     out_slew = 0.5 * slew + 2e9 * load
+# so STA results can be hand-checked without any simulation.
+# ----------------------------------------------------------------------
+def _stub_cell(drive: int, d0: float = 20e-12) -> CharacterizedCell:
+    slews = np.array([10e-12, 100e-12, 400e-12])
+    loads = np.array([1e-15, 10e-15, 100e-15]) * drive
+    delay = np.empty((3, 3))
+    tran = np.empty((3, 3))
+    for i, s in enumerate(slews):
+        for j, ld in enumerate(loads):
+            delay[i, j] = d0 + 0.1 * s + 1e9 * ld / drive
+            tran[i, j] = 0.5 * s + 2e9 * ld / drive
+    table = NldmTable(slews, loads, delay)
+    ttable = NldmTable(slews, loads, tran)
+    arc = TimingArc(related_pin="A", output_pin="Y", inverting=True,
+                    cell_rise=table, cell_fall=table,
+                    rise_transition=ttable, fall_transition=ttable)
+    return CharacterizedCell(cell=make_inverter(drive), arc=arc,
+                             input_slews=slews, loads=loads)
+
+
+@pytest.fixture()
+def stub_library():
+    return {f"INVX{d}": _stub_cell(d) for d in (1, 4, 16, 64)}
+
+
+class TestGateNetlist:
+    def test_chain_constructor(self):
+        net = GateNetlist.inverter_chain([1, 4, 16])
+        assert len(net.instances) == 3
+        assert net.primary_inputs == ["n0"]
+        assert net.primary_outputs == ["n3"]
+        net.validate()
+
+    def test_duplicate_instance_rejected(self):
+        net = GateNetlist()
+        net.add_instance("u0", "INVX1", "a", "b")
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_instance("u0", "INVX1", "b", "c")
+
+    def test_multiply_driven_net_rejected(self):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_instance("u0", "INVX1", "a", "y")
+        net.add_instance("u1", "INVX1", "a", "y")
+        with pytest.raises(NetlistError, match="multiple"):
+            net.validate()
+
+    def test_undriven_input_rejected(self):
+        net = GateNetlist()
+        net.add_instance("u0", "INVX1", "ghost", "y")
+        with pytest.raises(NetlistError, match="undriven"):
+            net.validate()
+
+    def test_driver_and_loads_queries(self):
+        net = GateNetlist.inverter_chain([1, 4])
+        assert net.driver_of("n1").name == "u0"
+        assert net.driver_of("n0") is None
+        assert [i.name for i in net.loads_of("n1")] == ["u1"]
+        assert net.fanout_count("n2") == 0
+
+
+class TestVerilogParser:
+    SOURCE = """
+    // a comment
+    module chain (a, y);
+      input a;
+      output y;
+      wire n1, n2;
+      INVX1 u0 (.A(a), .Y(n1));
+      INVX4 u1 (.A(n1), .Y(n2));  /* inline */
+      INVX16 u2 (.A(n2), .Y(y));
+    endmodule
+    """
+
+    def test_parses_structure(self):
+        net = parse_structural_verilog(self.SOURCE)
+        assert net.name == "chain"
+        assert net.primary_inputs == ["a"]
+        assert net.primary_outputs == ["y"]
+        assert [i.cell for i in net.instances] == ["INVX1", "INVX4", "INVX16"]
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_structural_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_structural_verilog("module m (a); input a;")
+
+    def test_positional_ports_rejected(self):
+        src = "module m (a, y); input a; output y; INVX1 u0 (a, y); endmodule"
+        with pytest.raises(NetlistError, match="named ports"):
+            parse_structural_verilog(src)
+
+
+class TestTimingGraph:
+    def test_levels_topological(self):
+        net = GateNetlist.inverter_chain([1, 1, 1])
+        order = TimingGraph.build(net).levels()
+        assert order.index("n0") < order.index("n1") < order.index("n3")
+
+    def test_cycle_detected(self):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_instance("u0", "INVX1", "a", "x")
+        net.add_instance("u1", "INVX1", "y", "z")
+        net.add_instance("u2", "INVX1", "z", "y")
+        net.primary_outputs.append("x")
+        with pytest.raises(TimingGraphError, match="cycle"):
+            TimingGraph.build(net).levels()
+
+    def test_depth(self):
+        net = GateNetlist.inverter_chain([1, 4, 16, 64])
+        g = TimingGraph.build(net)
+        assert g.depth_of("n0") == 0
+        assert g.depth_of("n4") == 4
+
+    def test_transitive_fanin(self):
+        net = GateNetlist.inverter_chain([1, 4, 16])
+        g = TimingGraph.build(net)
+        assert g.transitive_fanin_nets("n2") == ["n0", "n1", "n2"]
+
+
+class TestStaAnalysis:
+    def test_single_stage_hand_computed(self, stub_library):
+        net = GateNetlist.inverter_chain([4])
+        # INVX4 output drives nothing: load = 0 ⇒ extrapolated table value.
+        engine = StaEngine(stub_library)
+        res = engine.analyze(net, inputs={"n0": InputSpec(arrival=1e-9,
+                                                          slew=100e-12)})
+        d_expect = 20e-12 + 0.1 * 100e-12 + 0.0
+        assert res.arrival("n1") == pytest.approx(1e-9 + d_expect, rel=1e-6)
+
+    def test_chain_loads_seen_by_each_stage(self, stub_library):
+        net = GateNetlist.inverter_chain([1, 4])
+        engine = StaEngine(stub_library)
+        res = engine.analyze(net, inputs={"n0": InputSpec(slew=100e-12)})
+        cin4 = stub_library["INVX4"].cell.input_capacitance
+        d0 = 20e-12 + 0.1 * 100e-12 + 1e9 * cin4 / 1
+        assert res.arrival("n1") == pytest.approx(d0, rel=1e-6)
+        s1 = 0.5 * 100e-12 + 2e9 * cin4 / 1
+        d1 = 20e-12 + 0.1 * s1 + 0.0
+        assert res.arrival("n2") == pytest.approx(d0 + d1, rel=1e-6)
+
+    def test_wire_adds_elmore_delay(self, stub_library):
+        from repro.interconnect.elmore import elmore_delays_line
+        net = GateNetlist.inverter_chain([1, 4])
+        spec = RcLineSpec(total_r=500.0, total_c=50e-15, n_segments=3)
+        bare = StaEngine(stub_library).analyze(
+            net, inputs={"n0": InputSpec(slew=100e-12)})
+        wired = StaEngine(stub_library, wire_specs={"n1": spec}).analyze(
+            net, inputs={"n0": InputSpec(slew=100e-12)})
+        assert wired.arrival("n1") > bare.arrival("n1")
+        cin4 = stub_library["INVX4"].cell.input_capacitance
+        elm = elmore_delays_line(500.0, 50e-15, 3, load_c=cin4)
+        extra_gate = 1e9 * spec.total_c / 1  # wire cap also loads the driver
+        assert wired.arrival("n1") - bare.arrival("n1") == pytest.approx(
+            elm + extra_gate, rel=1e-6)
+
+    def test_edges_alternate_through_inverters(self, stub_library):
+        net = GateNetlist.inverter_chain([1, 1])
+        engine = StaEngine(stub_library)
+        res = engine.analyze(net, inputs={"n0": InputSpec(arrival=0.0,
+                                                          slew=100e-12)})
+        # Both edges exist everywhere and are finite.
+        for n in ("n1", "n2"):
+            assert np.isfinite(res.rise[n].arrival)
+            assert np.isfinite(res.fall[n].arrival)
+
+    def test_required_times_and_slack(self, stub_library):
+        net = GateNetlist.inverter_chain([1, 4, 16])
+        engine = StaEngine(stub_library)
+        res = engine.analyze(net, inputs={"n0": InputSpec(slew=100e-12)},
+                             required_times={"n3": 1e-9})
+        assert res.slack("n3") == pytest.approx(1e-9 - res.arrival("n3"))
+        assert res.worst_slack() <= res.slack("n3")
+        assert "n0" in res.required  # propagated to the input
+
+    def test_critical_path_traces_chain(self, stub_library):
+        net = GateNetlist.inverter_chain([1, 4, 16])
+        res = StaEngine(stub_library).analyze(
+            net, inputs={"n0": InputSpec(slew=100e-12)})
+        assert res.critical_path("n3") == ["n0", "n1", "n2", "n3"]
+
+    def test_unknown_cell_raises(self, stub_library):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_instance("u0", "NAND2X1", "a", "y")
+        net.add_output("y")
+        with pytest.raises(KeyError, match="NAND2X1"):
+            StaEngine(stub_library).analyze(net)
+
+
+class TestNoiseAwarePath:
+    @pytest.fixture(scope="class")
+    def quiet_stage(self):
+        from repro.sta.noise_aware import NoisyStage
+        return NoisyStage(
+            driver=make_inverter(1),
+            line=RcLineSpec.from_length(500.0),
+            receiver=make_inverter(4),
+        )
+
+    def test_quiet_stage_technique_matches_reference(self, quiet_stage):
+        from repro.core.ramp import SaturatedRamp
+        from repro.sta.noise_aware import propagate_path
+        ramp = SaturatedRamp.from_arrival_slew(0.3e-9, 150e-12, VDD, rising=False)
+        tech = propagate_path([quiet_stage], ramp, dt=4e-12)
+        ref = propagate_path([quiet_stage], ramp, dt=4e-12, full_waveform=True)
+        assert tech[0].output_arrival == pytest.approx(ref[0].output_arrival,
+                                                       abs=20e-12)
+
+    def test_aggressor_changes_arrival(self, quiet_stage):
+        from dataclasses import replace
+        from repro.core.ramp import SaturatedRamp
+        from repro.sta.noise_aware import AggressorSpec, propagate_path
+        ramp = SaturatedRamp.from_arrival_slew(0.3e-9, 150e-12, VDD, rising=False)
+        agg = AggressorSpec(coupling=100e-15, transition_start=0.35e-9,
+                            rising=False, slew=150e-12,
+                            driver=make_inverter(1))
+        noisy_stage = replace(quiet_stage, aggressors=(agg,))
+        quiet = propagate_path([quiet_stage], ramp, dt=4e-12)
+        noisy = propagate_path([noisy_stage], ramp, dt=4e-12)
+        assert abs(noisy[0].output_arrival - quiet[0].output_arrival) > 5e-12

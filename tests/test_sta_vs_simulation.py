@@ -1,0 +1,91 @@
+"""Cross-validation: the NLDM STA engine against transistor-level simulation.
+
+The whole point of table-based STA is to predict what the circuit
+simulator would say without running it.  This integration test closes the
+loop: characterise the cells with the simulator, run STA on an inverter
+chain, then simulate the *same* chain at transistor level and compare the
+endpoint arrival and slew.  Errors come only from table interpolation and
+the ramp abstraction at stage boundaries, so single-digit-picosecond
+agreement is expected — this guards the consistency of the library,
+characterisation, and STA subsystems against each other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import simulate_transient
+from repro.library.cells import standard_cell
+from repro.library.characterize import characterize_cell
+from repro.sta.analysis import InputSpec, StaEngine
+from repro.sta.netlist import GateNetlist
+
+VDD = 1.2
+SLEW_IN = 120e-12
+ARRIVAL_IN = 0.3e-9
+DRIVES = (1, 4, 16)
+
+
+@pytest.fixture(scope="module")
+def library():
+    slews = np.array([40e-12, 120e-12, 300e-12])
+    cells = {}
+    for drive in DRIVES:
+        loads = np.array([1e-15, 6e-15, 30e-15]) * drive
+        cells[f"INVX{drive}"] = characterize_cell(
+            standard_cell(drive), input_slews=slews, loads=loads, dt=2e-12)
+    return cells
+
+
+@pytest.fixture(scope="module")
+def simulated_chain():
+    """Transistor-level reference of the INVX1→INVX4→INVX16 chain."""
+    c = Circuit("chain")
+    c.vsource("Vdd", "vdd", "0", VDD)
+    c.vsource("Vin", "n0", "0", RampSource(ARRIVAL_IN, SLEW_IN, 0.0, VDD))
+    for k, drive in enumerate(DRIVES):
+        standard_cell(drive).instantiate(c, f"u{k}", f"n{k}", f"n{k + 1}", "vdd")
+    initial = {"n0": 0.0, "n1": VDD, "n2": 0.0, "n3": VDD, "vdd": VDD}
+    res = simulate_transient(c, t_stop=1.6e-9, dt=1e-12, initial_voltages=initial)
+    return {f"n{k}": res.waveform(f"n{k}") for k in range(len(DRIVES) + 1)}
+
+
+@pytest.fixture(scope="module")
+def sta_result(library):
+    netlist = GateNetlist.inverter_chain(list(DRIVES))
+    engine = StaEngine(library)
+    # The ramp source crosses 50% half a transition after ARRIVAL_IN.
+    arrival50 = ARRIVAL_IN + 0.5 * SLEW_IN / 0.8
+    return engine.analyze(netlist, inputs={"n0": InputSpec(arrival=arrival50,
+                                                           slew=SLEW_IN)})
+
+
+class TestStaVsSimulation:
+    def test_endpoint_arrival_matches(self, sta_result, simulated_chain):
+        simulated = simulated_chain["n3"].arrival_time(VDD, which="last")
+        predicted = sta_result.arrival("n3")
+        assert predicted == pytest.approx(simulated, abs=12e-12)
+
+    def test_intermediate_arrivals_match(self, sta_result, simulated_chain):
+        for net in ("n1", "n2"):
+            simulated = simulated_chain[net].arrival_time(VDD, which="last")
+            assert sta_result.arrival(net) == pytest.approx(simulated, abs=12e-12)
+
+    def test_endpoint_slew_matches(self, sta_result, simulated_chain):
+        simulated = simulated_chain["n3"].slew(VDD)
+        _, timing = sta_result.worst_edge("n3")
+        assert timing.slew == pytest.approx(simulated, rel=0.35)
+
+    def test_edges_alternate_correctly(self, sta_result, simulated_chain):
+        # n0 rises, so n1 falls, n2 rises, n3 falls in the simulation.
+        # STA tracks *both* hypothetical edges per net; the arrival of the
+        # edge matching the actual transition must agree with the circuit.
+        expected = {"n1": "fall", "n2": "rise", "n3": "fall"}
+        for net, direction in expected.items():
+            polarity = simulated_chain[net].polarity()
+            assert polarity == ("rising" if direction == "rise" else "falling")
+            timing = (sta_result.rise if direction == "rise"
+                      else sta_result.fall)[net]
+            simulated = simulated_chain[net].arrival_time(VDD, which="last")
+            assert timing.arrival == pytest.approx(simulated, abs=12e-12)

@@ -1,0 +1,92 @@
+"""Tests for the shared helpers in repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_float_array,
+    is_strictly_increasing,
+    linear_interp_crossings,
+    require,
+)
+
+
+class TestAsFloatArray:
+    def test_list_coerces_to_float64(self):
+        arr = as_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            as_float_array([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_array([1.0, float("nan")])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            as_float_array([1.0, float("inf")], name="xs")
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="myname"):
+            as_float_array([[1.0]], name="myname")
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestStrictlyIncreasing:
+    def test_increasing(self):
+        assert is_strictly_increasing(np.array([1.0, 2.0, 3.0]))
+
+    def test_flat_pair_fails(self):
+        assert not is_strictly_increasing(np.array([1.0, 1.0]))
+
+    def test_decreasing_fails(self):
+        assert not is_strictly_increasing(np.array([2.0, 1.0]))
+
+    def test_short_arrays_pass(self):
+        assert is_strictly_increasing(np.array([]))
+        assert is_strictly_increasing(np.array([5.0]))
+
+
+class TestCrossings:
+    def test_single_crossing_interpolated(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 2.0])
+        hits = linear_interp_crossings(t, v, 1.0)
+        assert hits.tolist() == [0.5]
+
+    def test_multiple_crossings_ordered(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        v = np.array([0.0, 2.0, 0.0, 2.0])
+        hits = linear_interp_crossings(t, v, 1.0)
+        assert np.allclose(hits, [0.5, 1.5, 2.5])
+
+    def test_exact_sample_on_level_counts_once(self):
+        t = np.array([0.0, 1.0, 2.0])
+        v = np.array([0.0, 1.0, 2.0])
+        hits = linear_interp_crossings(t, v, 1.0)
+        assert hits.tolist() == [1.0]
+
+    def test_flat_segment_on_level_counts_start_only(self):
+        t = np.array([0.0, 1.0, 2.0, 3.0])
+        v = np.array([0.0, 1.0, 1.0, 2.0])
+        hits = linear_interp_crossings(t, v, 1.0)
+        assert hits.tolist() == [1.0]
+
+    def test_no_crossing(self):
+        t = np.array([0.0, 1.0])
+        v = np.array([0.0, 0.5])
+        assert linear_interp_crossings(t, v, 1.0).size == 0
+
+    def test_empty_input(self):
+        assert linear_interp_crossings(np.array([]), np.array([]), 0.5).size == 0

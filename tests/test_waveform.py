@@ -1,0 +1,244 @@
+"""Tests for the Waveform data type."""
+
+import numpy as np
+import pytest
+
+from repro.core.waveform import TransitionPolarity, Waveform
+
+from tests.helpers import VDD, bumped_edge, sigmoid_edge
+
+
+class TestConstruction:
+    def test_basic(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 0.5, 1.0])
+        assert len(w) == 3
+        assert w.t_start == 0.0 and w.t_end == 2.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="same length"):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="two samples"):
+            Waveform([0.0], [1.0])
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Waveform([0.0, 2.0, 1.0], [0.0, 1.0, 2.0])
+
+    def test_immutable_arrays(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            w.times[0] = 5.0
+
+    def test_ramp_constructor_slew(self):
+        w = Waveform.ramp(t_start=0.0, slew=100e-12, vdd=VDD)
+        assert w.slew(VDD) == pytest.approx(100e-12, rel=1e-9)
+
+    def test_ramp_falling(self):
+        w = Waveform.ramp(t_start=0.0, slew=100e-12, vdd=VDD, rising=False)
+        assert w.polarity() == TransitionPolarity.FALLING
+        assert w.v_initial == VDD and w.v_final == 0.0
+
+    def test_constant(self):
+        w = Waveform.constant(0.7, 0.0, 1e-9)
+        assert w(0.5e-9) == pytest.approx(0.7)
+        assert w.polarity() == TransitionPolarity.FLAT
+
+    def test_from_function(self):
+        w = Waveform.from_function(lambda t: t * 2.0, 0.0, 1.0, n=11)
+        assert w(0.25) == pytest.approx(0.5)
+
+    def test_equality_and_hash(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.0, 1.0], [0.0, 1.0])
+        c = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestEvaluation:
+    def test_interpolates(self):
+        w = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert w(0.25) == pytest.approx(0.5)
+
+    def test_clamps_outside_window(self):
+        w = Waveform([0.0, 1.0], [0.3, 0.9])
+        assert w(-5.0) == pytest.approx(0.3)
+        assert w(5.0) == pytest.approx(0.9)
+
+    def test_vectorised_call(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        out = w(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+
+class TestTransforms:
+    def test_shifted(self):
+        w = sigmoid_edge(1e-9, 100e-12)
+        s = w.shifted(50e-12)
+        assert s.cross_time(0.6) == pytest.approx(w.cross_time(0.6) + 50e-12, abs=1e-15)
+
+    def test_scaled(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        s = w.scaled(2.0, offset=0.5)
+        assert s(1.0) == pytest.approx(2.5)
+
+    def test_clipped(self):
+        w = Waveform([0.0, 1.0, 2.0], [-1.0, 0.5, 2.0])
+        c = w.clipped(0.0, 1.0)
+        assert c.v_min == 0.0 and c.v_max == 1.0
+
+    def test_windowed_adds_exact_endpoints(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 1.0, 2.0])
+        win = w.windowed(0.25, 1.75)
+        assert win.t_start == pytest.approx(0.25)
+        assert win.t_end == pytest.approx(1.75)
+        assert win(0.25) == pytest.approx(0.25)
+
+    def test_windowed_outside_raises(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            w.windowed(2.0, 3.0)
+
+    def test_resampled_uniform(self):
+        w = sigmoid_edge(1e-9, 100e-12)
+        r = w.resampled(n=17)
+        assert len(r) == 17
+        assert r(1.0e-9) == pytest.approx(w(1.0e-9), abs=1e-3)
+
+    def test_resampled_explicit_grid(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        r = w.resampled(times=[0.2, 0.8])
+        assert r.values.tolist() == pytest.approx([0.2, 0.8])
+
+    def test_resampled_requires_exactly_one_spec(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            w.resampled()
+        with pytest.raises(ValueError):
+            w.resampled(n=5, times=[0.1])
+
+    def test_reversed_polarity(self):
+        w = sigmoid_edge(1e-9, 100e-12, rising=True)
+        r = w.reversed_polarity(VDD)
+        assert r.polarity() == TransitionPolarity.FALLING
+        assert r(1e-9) == pytest.approx(VDD - w(1e-9))
+
+    def test_derivative_of_line(self):
+        w = Waveform([0.0, 1.0, 2.0], [0.0, 2.0, 4.0])
+        d = w.derivative()
+        assert np.allclose(d.values, 2.0)
+
+    def test_plus_minus_roundtrip(self):
+        a = sigmoid_edge(1e-9, 100e-12)
+        b = sigmoid_edge(1.2e-9, 150e-12)
+        s = a.plus(b).minus(b)
+        assert s(1.0e-9) == pytest.approx(a(1.0e-9), abs=1e-9)
+
+
+class TestMeasurements:
+    def test_polarity_detection(self):
+        assert sigmoid_edge(1e-9, 100e-12).polarity() == TransitionPolarity.RISING
+        assert sigmoid_edge(1e-9, 100e-12, rising=False).polarity() == \
+            TransitionPolarity.FALLING
+
+    def test_polarity_ignores_bumps(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.5e-9, bump_height=0.5,
+                        bump_width=30e-12)
+        assert w.polarity() == TransitionPolarity.RISING
+
+    def test_cross_time_first_vs_last(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.6e-9, bump_height=0.8,
+                        bump_width=40e-12)
+        assert w.cross_time(0.6, "first") < w.cross_time(0.6, "last")
+
+    def test_cross_time_missing_level_raises(self):
+        w = Waveform([0.0, 1.0], [0.0, 0.5])
+        with pytest.raises(ValueError, match="never crosses"):
+            w.cross_time(0.9)
+
+    def test_crossing_count(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.6e-9, bump_height=0.9,
+                        bump_width=40e-12)
+        assert w.crossing_count(0.6) == 3
+
+    def test_arrival_time_uses_latest(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.6e-9, bump_height=0.9,
+                        bump_width=40e-12)
+        assert w.arrival_time(VDD) == pytest.approx(w.cross_time(0.6, "last"))
+
+    def test_slew_modes_differ_on_noisy(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.7e-9, bump_height=0.25,
+                        bump_width=40e-12)
+        assert w.slew(VDD, mode="noisy") >= w.slew(VDD, mode="clean")
+
+    def test_slew_of_flat_raises(self):
+        w = Waveform.constant(0.5, 0.0, 1e-9)
+        with pytest.raises(ValueError):
+            w.slew(VDD)
+
+    def test_slew_falling(self):
+        w = sigmoid_edge(1e-9, 120e-12, rising=False)
+        assert w.slew(VDD) == pytest.approx(120e-12, rel=5e-3)
+
+    def test_critical_region_rising(self):
+        w = sigmoid_edge(1e-9, 100e-12)
+        t0, t1 = w.critical_region(VDD)
+        assert t0 == pytest.approx(w.cross_time(0.12, "first"))
+        assert t1 == pytest.approx(w.cross_time(1.08, "last"))
+
+    def test_critical_region_falling(self):
+        w = sigmoid_edge(1e-9, 100e-12, rising=False)
+        t0, t1 = w.critical_region(VDD)
+        assert t0 == pytest.approx(w.cross_time(1.08, "first"))
+        assert t1 == pytest.approx(w.cross_time(0.12, "last"))
+
+    def test_principal_region_clips_post_settle_dip(self):
+        # Rises fully by ~1.1 ns, then a negative bump re-enters the 0.9
+        # band late; the literal region would stretch to the recovery.
+        w = bumped_edge(1e-9, 100e-12, bump_at=1.8e-9, bump_height=-0.35,
+                        bump_width=80e-12, t_end=2.6e-9)
+        lit = w.critical_region(VDD)
+        pri = w.principal_critical_region(VDD)
+        assert pri[1] < lit[1]
+        assert pri[0] == pytest.approx(lit[0])
+
+    def test_principal_region_keeps_pre_transition_noise(self):
+        w = bumped_edge(1e-9, 100e-12, bump_at=0.4e-9, bump_height=0.4,
+                        bump_width=50e-12, t_start=0.0)
+        pri = w.principal_critical_region(VDD)
+        assert pri[0] == pytest.approx(w.cross_time(0.12, "first"))
+
+    def test_integral_of_constant(self):
+        w = Waveform.constant(2.0, 0.0, 3.0)
+        assert w.integral() == pytest.approx(6.0)
+
+    def test_band_area_of_ramp_triangle(self):
+        # Linear ramp 0→Vdd over [0, T]: area between curve (clamped to
+        # the upper band) and Vdd from the 0.5Vdd crossing to T is the
+        # triangle (Vdd/2)^2 / (2 * slope).
+        T = 1e-9
+        w = Waveform([0.0, T, 2 * T], [0.0, VDD, VDD])
+        slope = VDD / T
+        area = w.band_area(0.5 * VDD, VDD, w.cross_time(0.5 * VDD), 2 * T)
+        assert area == pytest.approx((0.5 * VDD) ** 2 / (2 * slope), rel=1e-6)
+
+    def test_settles_to(self):
+        w = sigmoid_edge(1e-9, 100e-12)
+        assert w.settles_to(VDD, 0.01 * VDD)
+        assert not w.settles_to(0.0, 0.01 * VDD)
+
+    def test_is_monotonic(self):
+        assert sigmoid_edge(1e-9, 100e-12).is_monotonic(tolerance=1e-9)
+        # Bump on the settled tail, where its slope dominates the edge's.
+        w = bumped_edge(1e-9, 100e-12, bump_at=1.4e-9, bump_height=-0.3,
+                        bump_width=40e-12)
+        assert not w.is_monotonic(tolerance=1e-3)
+
+    def test_overlaps(self):
+        a = sigmoid_edge(1.0e-9, 200e-12, t_start=0.0, t_end=3e-9)
+        b = sigmoid_edge(1.05e-9, 200e-12, t_start=0.0, t_end=3e-9, rising=False)
+        c = sigmoid_edge(2.5e-9, 100e-12, t_start=0.0, t_end=4e-9)
+        assert a.overlaps(b, VDD)
+        assert not a.overlaps(c, VDD)
