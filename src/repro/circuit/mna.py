@@ -41,6 +41,7 @@ class MnaSystem:
     def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
         require(gmin >= 0.0, "gmin must be non-negative")
         self.circuit = circuit
+        self._signature: tuple | None = None
         self.node_names = list(circuit.nodes)
         self.node_index = {name: i for i, name in enumerate(self.node_names)}
         self.n_nodes = len(self.node_names)
@@ -73,6 +74,7 @@ class MnaSystem:
         self.cap_j = np.array([self.index_of(c.node_b) for c in circuit.capacitors], dtype=int)
         self.cap_c = np.array([c.capacitance for c in circuit.capacitors], dtype=float)
         self.n_caps = self.cap_c.size
+        self._cap_incidence: np.ndarray | None = None
 
         # --- MOSFET device arrays --------------------------------------
         mos = circuit.mosfets
@@ -107,6 +109,22 @@ class MnaSystem:
             self._mos_d_ok = self.mos_d >= 0
             self._mos_s_ok = self.mos_s >= 0
 
+            # Dense scatter operators for the batched path: duplicate
+            # Jacobian/rhs destinations are folded by a one-hot matmul
+            # (one BLAS call per Newton iteration instead of np.add.at).
+            uniq, inv = np.unique(self._mos_flat, return_inverse=True)
+            onehot = np.zeros((self._mos_flat.size, uniq.size))
+            onehot[np.arange(self._mos_flat.size), inv] = 1.0
+            self._mos_flat_uniq = uniq
+            self._mos_jac_scatter = onehot
+            rhs_rows = np.concatenate([self.mos_d[self._mos_d_ok],
+                                       self.mos_s[self._mos_s_ok]])
+            uniq_r, inv_r = np.unique(rhs_rows, return_inverse=True)
+            onehot_r = np.zeros((rhs_rows.size, uniq_r.size))
+            onehot_r[np.arange(rhs_rows.size), inv_r] = 1.0
+            self._mos_rhs_uniq = uniq_r
+            self._mos_rhs_scatter = onehot_r
+
     # ------------------------------------------------------------------
     def index_of(self, node: str) -> int:
         """MNA index of a node name; ``-1`` for ground."""
@@ -138,6 +156,44 @@ class MnaSystem:
                 rhs[im] += cur
         return rhs
 
+    def cap_incidence(self) -> np.ndarray:
+        """Capacitor → node incidence matrix, shape ``(n_caps, size)``.
+
+        Row ``k`` holds ``+1`` at the capacitor's positive terminal and
+        ``-1`` at its negative terminal (ground omitted), so a batch of
+        companion currents scatters onto the right-hand side with one
+        matmul: ``rhs += i_eq @ cap_incidence()``.
+        """
+        if self._cap_incidence is None:
+            m = np.zeros((self.n_caps, self.size))
+            for k in range(self.n_caps):
+                i, j = int(self.cap_i[k]), int(self.cap_j[k])
+                if i >= 0:
+                    m[k, i] += 1.0
+                if j >= 0:
+                    m[k, j] -= 1.0
+            self._cap_incidence = m
+        return self._cap_incidence
+
+    def source_rhs_series(self, times: np.ndarray) -> np.ndarray:
+        """Right-hand sides for many time points at once, shape ``(T, size)``.
+
+        Vectorised over the sample times (sources are evaluated with array
+        arguments), so a whole transient's worth of source values costs one
+        NumPy pass per source instead of one Python call per step.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        rhs = np.zeros((times.size, self.size))
+        for k, fn in enumerate(self._vsource_fns):
+            rhs[:, self.n_nodes + k] = fn(times)
+        for ip, im, fn in self._isource_stamps:
+            cur = np.asarray(fn(times), dtype=np.float64)
+            if ip >= 0:
+                rhs[:, ip] -= cur
+            if im >= 0:
+                rhs[:, im] += cur
+        return rhs
+
     def source_breakpoints(self) -> np.ndarray:
         """Union of all source corner times (sorted, unique)."""
         pts: list[float] = []
@@ -157,6 +213,38 @@ class MnaSystem:
         mask = idx >= 0
         v[mask] = x[idx[mask]]
         return v
+
+    def _terminal_voltages_batch(self, x: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_terminal_voltages`: ``x`` is ``(B, size)``."""
+        return self._pad_ground(x)[:, idx]
+
+    @staticmethod
+    def _pad_ground(x: np.ndarray) -> np.ndarray:
+        """Append a zero column so ground's ``-1`` index gathers 0 V."""
+        return np.concatenate([x, np.zeros((x.shape[0], 1))], axis=1)
+
+    def topology_signature(self) -> tuple:
+        """Structural fingerprint of the compiled system, excluding sources.
+
+        Two circuits with equal signatures have byte-identical linear
+        matrices, capacitor companions and MOSFET device arrays, so their
+        transient analyses can share one stacked Newton loop — only the
+        source *values* (evaluated per variant) may differ.  Used by
+        :func:`~repro.circuit.transient.simulate_transient_many` to group
+        compatible jobs.
+        """
+        if self._signature is None:
+            self._signature = (
+                self.size, self.n_nodes, self.n_branches, self.n_caps,
+                self.n_mosfets,
+                self.g_lin.tobytes(),
+                self.cap_i.tobytes(), self.cap_j.tobytes(), self.cap_c.tobytes(),
+                self.mos_d.tobytes(), self.mos_g.tobytes(), self.mos_s.tobytes(),
+                self.mos_pol.tobytes(), self.mos_beta.tobytes(),
+                self.mos_vth.tobytes(), self.mos_lam.tobytes(),
+                tuple((ip, im) for ip, im, _ in self._isource_stamps),
+            )
+        return self._signature
 
     def stamp_mosfets(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
         """Stamp Newton-linearised MOSFETs at operating point ``x``.
@@ -182,6 +270,44 @@ class MnaSystem:
         np.add.at(a.reshape(-1), self._mos_flat, vals[self._mos_valid])
         np.add.at(rhs, self.mos_d[self._mos_d_ok], ieq[self._mos_d_ok])
         np.add.at(rhs, self.mos_s[self._mos_s_ok], -ieq[self._mos_s_ok])
+
+    def stamp_mosfets_batch(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
+        """Batched :meth:`stamp_mosfets` over ``B`` operating points.
+
+        Parameters
+        ----------
+        a:
+            Stacked system matrices, shape ``(B, size, size)``; modified in
+            place.
+        rhs:
+            Stacked right-hand sides, shape ``(B, size)``; modified in place.
+        x:
+            Stacked operating points, shape ``(B, size)``.
+
+        One vectorised :func:`~repro.circuit.mosfet.mosfet_eval` pass covers
+        every device of every variant, so the cost of a Newton iteration is
+        independent of the batch size at the Python level.
+        """
+        if self.n_mosfets == 0:
+            return
+        batch = x.shape[0]
+        xp = self._pad_ground(x)
+        vd = xp[:, self.mos_d]
+        vg = xp[:, self.mos_g]
+        vs = xp[:, self.mos_s]
+        ids, did_dvd, did_dvg, did_dvs = mosfet_eval(
+            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
+        )
+        ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
+        # (B, 6, n_mosfets) Jacobian entries, same layout as the scalar path.
+        vals = self._mos_sign[None, :, :] * np.stack(
+            [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs], axis=1
+        )
+        a_flat = a.reshape(batch, -1)
+        a_flat[:, self._mos_flat_uniq] += vals[:, self._mos_valid] @ self._mos_jac_scatter
+        contrib = np.concatenate([ieq[:, self._mos_d_ok], -ieq[:, self._mos_s_ok]],
+                                 axis=1)
+        rhs[:, self._mos_rhs_uniq] += contrib @ self._mos_rhs_scatter
 
     def mosfet_currents(self, x: np.ndarray) -> np.ndarray:
         """Drain currents of every MOSFET at solution ``x`` (amperes)."""

@@ -1,4 +1,4 @@
-"""Nonlinear transient analysis.
+"""Nonlinear transient analysis — scalar and batched.
 
 Fixed-step trapezoidal integration with Newton–Raphson at every step, the
 workhorse of this reproduction: it plays the role Hspice plays in the
@@ -10,21 +10,75 @@ converge it is retried with recursive step halving.
 The step size is chosen by the caller; the experiments use 1–2 ps, which
 resolves 150 ps slews and crosstalk pulses comfortably (validated against
 analytic RC responses and ``scipy`` reference integrations in the tests).
+
+Batched simulation
+------------------
+The experiments run the *same topology* under many stimuli (noise-case
+sweeps, one circuit per aggressor alignment; technique evaluation, one
+receiver fixture per Γ_eff).  Two entry points amortise the per-step
+Python cost across those variants:
+
+* :func:`simulate_transient_batch` — B variants of one circuit, given as
+  :class:`BatchStimulus` source/initial-state overrides, advanced through
+  a single Newton loop over stacked ``(B, n, n)`` matrices with batched
+  ``np.linalg.solve``.
+* :func:`simulate_transient_many` — a list of independent
+  :class:`TransientJob` simulations.  Jobs are grouped by
+  :meth:`~repro.circuit.mna.MnaSystem.topology_signature` (plus time grid
+  and solver options); each compatible group runs through the batched
+  engine, singleton groups fall back to the scalar path.
+
+Both return results numerically equivalent to running
+:func:`simulate_transient` per variant: the batched Newton iteration
+freezes converged variants and applies the same per-variant convergence
+and voltage-limiting tests as the scalar loop, and a variant whose step
+fails to converge falls back to the scalar recursive step-halving path on
+its own.  Variants may have different ``t_stop`` values (sharing
+``t_start``/``dt``); each result is truncated to its own window.
+
+Matrix caching
+--------------
+The linear system matrix with capacitor companion conductances is constant
+per step size.  It is cached *keyed on the halving depth* (``h = dt /
+2**depth``) — not on the floating-point step value, which drifts under
+repeated halving and can miss the cache.  For MOSFET-free circuits
+(RC/interconnect networks) the cached entry also carries an LU
+factorisation that is reused across all steps and variants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import copy
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 
 import numpy as np
+
+try:  # SciPy is optional: used only to reuse LU factors on linear circuits.
+    from scipy.linalg import lu_factor as _lu_factor
+    from scipy.linalg import lu_solve as _lu_solve
+except ImportError:  # pragma: no cover - the container ships scipy
+    _lu_factor = None
+    _lu_solve = None
 
 from .._util import require
 from ..core.waveform import Waveform
 from .dc import dc_operating_point
 from .mna import MnaSystem
 from .netlist import Circuit
+from .sources import as_source
 
-__all__ = ["TransientResult", "simulate_transient", "TransientOptions", "ConvergenceError"]
+__all__ = [
+    "TransientResult",
+    "simulate_transient",
+    "TransientOptions",
+    "ConvergenceError",
+    "TransientJob",
+    "BatchStimulus",
+    "simulate_transient_batch",
+    "simulate_transient_many",
+]
 
 
 class ConvergenceError(RuntimeError):
@@ -57,13 +111,16 @@ class TransientResult:
     """Simulation output: node voltages (and branch currents) over time.
 
     Access node waveforms with :meth:`waveform` or dictionary-style with
-    :meth:`voltage_samples`.
+    :meth:`voltage_samples`.  ``stats`` carries solver diagnostics
+    (``newton_iters``, ``halvings``, ``matrix_builds``, ``batch_size``).
     """
 
-    def __init__(self, mna: MnaSystem, times: np.ndarray, solutions: np.ndarray):
+    def __init__(self, mna: MnaSystem, times: np.ndarray, solutions: np.ndarray,
+                 stats: dict | None = None):
         self._mna = mna
         self.times = times
         self._x = solutions  # shape (n_steps, size)
+        self.stats = dict(stats) if stats else {}
 
     @property
     def node_names(self) -> list[str]:
@@ -92,6 +149,64 @@ class TransientResult:
                 for name in self._mna.node_names}
 
 
+@dataclass(frozen=True)
+class TransientJob:
+    """One independent transient simulation, for :func:`simulate_transient_many`.
+
+    Mirrors the parameters of :func:`simulate_transient`; jobs whose
+    circuits share a topology (and whose ``t_start``/``dt``/``options``
+    agree) are solved together through the batched engine.
+    """
+
+    circuit: Circuit
+    t_stop: float
+    dt: float
+    t_start: float = 0.0
+    initial_voltages: Mapping[str, float] | None = None
+    use_ic: bool = False
+    options: TransientOptions | None = None
+
+    def run(self) -> "TransientResult":
+        """Run this job alone through the sequential engine.
+
+        Forwards every field, so ``job.run()`` is the per-job sequential
+        baseline equivalent to batching the job through
+        :func:`simulate_transient_many`.
+        """
+        return simulate_transient(
+            self.circuit, t_stop=self.t_stop, dt=self.dt, t_start=self.t_start,
+            initial_voltages=dict(self.initial_voltages)
+            if self.initial_voltages is not None else None,
+            use_ic=self.use_ic, options=self.options)
+
+
+@dataclass(frozen=True)
+class BatchStimulus:
+    """Per-variant overrides for :func:`simulate_transient_batch`.
+
+    Attributes
+    ----------
+    sources:
+        Source-name → stimulus map (anything
+        :func:`~repro.circuit.sources.as_source` accepts).  Named voltage
+        and current sources of the base circuit are replaced; unnamed ones
+        keep their base stimulus.
+    initial_voltages:
+        Node → volts seed for this variant's DC solve (or exact initial
+        state with ``use_ic``).
+    use_ic:
+        Skip the DC solve and start exactly from ``initial_voltages``.
+    t_stop:
+        Optional per-variant end time (defaults to the batch ``t_stop``).
+        Must share the batch ``t_start`` and ``dt`` grid.
+    """
+
+    sources: Mapping[str, object] = field(default_factory=dict)
+    initial_voltages: Mapping[str, float] | None = None
+    use_ic: bool = False
+    t_stop: float | None = None
+
+
 def _cap_stamp_matrix(mna: MnaSystem, a: np.ndarray, h: float) -> np.ndarray:
     """Add trapezoidal capacitor companion conductances ``2C/h`` to ``a``."""
     geq = 2.0 * mna.cap_c / h
@@ -107,17 +222,54 @@ def _cap_voltages(mna: MnaSystem, x: np.ndarray) -> np.ndarray:
     return vi - vj
 
 
+def _cap_voltages_batch(mna: MnaSystem, x: np.ndarray) -> np.ndarray:
+    """Voltage across every capacitor for stacked solutions ``x`` (B, size).
+
+    One incidence matmul; bit-identical to the per-terminal gather (each
+    incidence row holds exactly one +1 and one −1).
+    """
+    return x @ mna.cap_incidence().T
+
+
+class _StepMatrixCache:
+    """Companion-stamped matrices per halving depth (``h = dt / 2**depth``).
+
+    Keying on the integer depth instead of the floating-point step value
+    makes repeated halvings hit the cache deterministically.  For
+    MOSFET-free circuits each entry carries an LU factorisation reused by
+    every step (and every batch variant) at that depth.
+    """
+
+    def __init__(self, mna: MnaSystem, dt: float):
+        self.mna = mna
+        self._dt = dt
+        self._factorize = mna.n_mosfets == 0 and _lu_factor is not None
+        self._entries: dict[int, tuple[np.ndarray, object | None, float]] = {}
+        self.builds = 0
+
+    def get(self, depth: int) -> tuple[np.ndarray, object | None, float]:
+        """Return ``(a_base, lu_or_None, h)`` for a halving depth."""
+        entry = self._entries.get(depth)
+        if entry is None:
+            h = self._dt * (0.5 ** depth)  # exact: equals repeated halving
+            a = _cap_stamp_matrix(self.mna, self.mna.g_lin.copy(), h)
+            lu = _lu_factor(a) if self._factorize else None
+            entry = (a, lu, h)
+            self._entries[depth] = entry
+            self.builds += 1
+        return entry
+
+
 def _newton_solve(
     mna: MnaSystem,
     a_base: np.ndarray,
     rhs_base: np.ndarray,
     x0: np.ndarray,
     opts: TransientOptions,
+    stats: dict,
 ) -> np.ndarray | None:
     """Newton iteration for ``a_base``-plus-MOSFETs; ``None`` on failure."""
     x = x0.copy()
-    if mna.n_mosfets == 0:
-        return np.linalg.solve(a_base, rhs_base)
     for _ in range(opts.max_newton):
         a = a_base.copy()
         rhs = rhs_base.copy()
@@ -130,9 +282,155 @@ def _newton_solve(
         if limited:
             dx = dx * (opts.v_limit / worst)
         x = x + dx
+        stats["newton_iters"] += 1
         if not limited and worst < opts.abstol:
             return x
     return None
+
+
+def _newton_solve_batch(
+    mna: MnaSystem,
+    a_base: np.ndarray,
+    rhs_base: np.ndarray,
+    x0: np.ndarray,
+    opts: TransientOptions,
+    stats: dict,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Newton over stacked variants; returns ``(x, converged)``.
+
+    Applies the scalar loop's convergence and voltage-limit tests per
+    variant; converged variants are frozen (their solution no longer
+    changes), so each variant reproduces the scalar iteration sequence.
+    """
+    x = x0.copy()
+    m = x.shape[0]
+    n_nodes = mna.n_nodes
+    converged = np.zeros(m, dtype=bool)
+    active = np.arange(m)
+    for _ in range(opts.max_newton):
+        sub = x[active]
+        a = np.broadcast_to(a_base, (active.size, *a_base.shape)).copy()
+        rhs = rhs_base[active].copy()
+        mna.stamp_mosfets_batch(a, rhs, sub)
+        x_new = np.linalg.solve(a, rhs[..., None])[..., 0]
+        dx = x_new - sub
+        dv = dx[:, :n_nodes]
+        worst = np.max(np.abs(dv), axis=1) if n_nodes else np.zeros(active.size)
+        limited = worst > opts.v_limit
+        scale = np.where(limited, opts.v_limit / np.maximum(worst, 1e-300), 1.0)
+        x[active] = sub + dx * scale[:, None]
+        stats["newton_iters"] += 1
+        ok = (~limited) & (worst < opts.abstol)
+        converged[active[ok]] = True
+        active = active[~ok]
+        if active.size == 0:
+            break
+    return x, converged
+
+
+def _advance_scalar(
+    mna: MnaSystem,
+    cache: _StepMatrixCache,
+    x_prev: np.ndarray,
+    i_cap_prev: np.ndarray,
+    t_prev: float,
+    depth: int,
+    opts: TransientOptions,
+    stats: dict,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One trapezoidal step from ``t_prev`` over ``dt / 2**depth``."""
+    a_base, lu, h = cache.get(depth)
+    geq = 2.0 * mna.cap_c / h
+    vcap_prev = _cap_voltages(mna, x_prev)
+    ieq = geq * vcap_prev + i_cap_prev
+    rhs = mna.source_rhs(t_prev + h)
+    for k in range(mna.n_caps):
+        i, j = int(mna.cap_i[k]), int(mna.cap_j[k])
+        if i >= 0:
+            rhs[i] += ieq[k]
+        if j >= 0:
+            rhs[j] -= ieq[k]
+    if mna.n_mosfets == 0:
+        x_new = _lu_solve(lu, rhs) if lu is not None else np.linalg.solve(a_base, rhs)
+    else:
+        x_new = _newton_solve(mna, a_base, rhs, x_prev, opts, stats)
+    if x_new is None:
+        if depth >= opts.max_halvings:
+            raise ConvergenceError(
+                f"Newton failed at t={t_prev + h:.4e}s even at dt={h:.2e}s"
+            )
+        stats["halvings"] += 1
+        x_mid, i_mid = _advance_scalar(mna, cache, x_prev, i_cap_prev, t_prev,
+                                       depth + 1, opts, stats)
+        return _advance_scalar(mna, cache, x_mid, i_mid, t_prev + h / 2,
+                               depth + 1, opts, stats)
+    i_cap_new = geq * _cap_voltages(mna, x_new) - ieq
+    return x_new, i_cap_new
+
+
+def _initial_state(
+    circuit: Circuit,
+    mna: MnaSystem,
+    t_start: float,
+    initial_voltages: Mapping[str, float] | None,
+    use_ic: bool,
+) -> np.ndarray:
+    """Initial MNA solution: exact ``UIC`` state or a seeded DC solve."""
+    if use_ic:
+        x = np.zeros(mna.size)
+        for node, v in (initial_voltages or {}).items():
+            idx = mna.index_of(node)
+            if idx >= 0:
+                x[idx] = v
+        return x
+    return dc_operating_point(circuit, at_time=t_start,
+                              initial_voltages=dict(initial_voltages or {}),
+                              mna=mna).solution
+
+
+def _new_stats(**extra) -> dict:
+    stats = {"newton_iters": 0, "halvings": 0, "matrix_builds": 0,
+             "batch_size": 1}
+    stats.update(extra)
+    return stats
+
+
+def _simulate_scalar(
+    circuit: Circuit,
+    mna: MnaSystem,
+    t_stop: float,
+    dt: float,
+    t_start: float,
+    initial_voltages: Mapping[str, float] | None,
+    use_ic: bool,
+    opts: TransientOptions,
+) -> TransientResult:
+    """The sequential engine behind :func:`simulate_transient`."""
+    require(t_stop > t_start, "t_stop must exceed t_start")
+    require(dt > 0.0, "dt must be positive")
+
+    x = _initial_state(circuit, mna, t_start, initial_voltages, use_ic)
+
+    n_steps = int(round((t_stop - t_start) / dt))
+    require(n_steps >= 1, "simulation window shorter than one step")
+    times = t_start + dt * np.arange(n_steps + 1)
+
+    solutions = np.empty((n_steps + 1, mna.size))
+    solutions[0] = x
+
+    # Trapezoidal history: capacitor currents at the previous accepted point.
+    # Starting from DC (or UIC) the capacitor currents are zero.
+    i_cap = np.zeros(mna.n_caps)
+    cache = _StepMatrixCache(mna, dt)
+    stats = _new_stats()
+
+    for step in range(n_steps):
+        x, i_cap = _advance_scalar(mna, cache, x, i_cap, float(times[step]),
+                                   0, opts, stats)
+        solutions[step + 1] = x
+
+    stats["matrix_builds"] = cache.builds
+    return TransientResult(mna, times, solutions, stats=stats)
 
 
 def simulate_transient(
@@ -143,7 +441,6 @@ def simulate_transient(
     initial_voltages: dict[str, float] | None = None,
     use_ic: bool = False,
     options: TransientOptions | None = None,
-    record_branches: bool = True,
 ) -> TransientResult:
     """Run a transient analysis and return sampled node voltages.
 
@@ -166,9 +463,6 @@ def simulate_transient(
         ``initial_voltages`` (unset nodes start at 0 V) — SPICE's ``UIC``.
     options:
         Solver tolerances; defaults are fine for the experiments.
-    record_branches:
-        Kept for API clarity; branch currents are always solved, this flag
-        is reserved for future trimming of the result payload.
 
     Returns
     -------
@@ -179,68 +473,213 @@ def simulate_transient(
     ConvergenceError
         If a time step cannot be converged even after step halving.
     """
-    require(t_stop > t_start, "t_stop must exceed t_start")
-    require(dt > 0.0, "dt must be positive")
-    opts = options or TransientOptions()
-    mna = MnaSystem(circuit)
+    return _simulate_scalar(circuit, MnaSystem(circuit), t_stop, dt, t_start,
+                            initial_voltages, use_ic,
+                            options or TransientOptions())
 
-    # --- initial state -------------------------------------------------
-    if use_ic:
-        x = np.zeros(mna.size)
-        for node, v in (initial_voltages or {}).items():
-            idx = mna.index_of(node)
-            if idx >= 0:
-                x[idx] = v
+
+def _advance_batch(
+    mnas: Sequence[MnaSystem],
+    cache: _StepMatrixCache,
+    x_prev: np.ndarray,
+    i_cap_prev: np.ndarray,
+    t_prev: float,
+    rhs_src: np.ndarray,
+    opts: TransientOptions,
+    stats: dict,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One stacked trapezoidal step for every variant in ``mnas``.
+
+    ``rhs_src`` carries the precomputed source right-hand sides at the
+    step's end time (one row per variant).  Variants whose Newton
+    iteration fails at the full step fall back, individually, to the
+    scalar recursive step-halving path; the rest advance together.
+    """
+    mna0 = cache.mna
+    a_base, lu, h = cache.get(0)
+    geq = 2.0 * mna0.cap_c / h
+    vcap_prev = _cap_voltages_batch(mna0, x_prev)
+    ieq = geq * vcap_prev + i_cap_prev
+    rhs = rhs_src.copy()
+    if mna0.n_caps:
+        rhs += ieq @ mna0.cap_incidence()
+
+    if mna0.n_mosfets == 0:
+        if lu is not None:
+            x_new = _lu_solve(lu, rhs.T).T
+        else:
+            x_new = np.linalg.solve(a_base, rhs.T).T
+        ok = np.ones(len(mnas), dtype=bool)
     else:
-        x = dc_operating_point(circuit, at_time=t_start, initial_voltages=initial_voltages,
-                               mna=mna).solution
+        x_new, ok = _newton_solve_batch(mna0, a_base, rhs, x_prev, opts, stats)
 
-    n_steps = int(round((t_stop - t_start) / dt))
-    require(n_steps >= 1, "simulation window shorter than one step")
-    times = t_start + dt * np.arange(n_steps + 1)
+    i_cap_new = geq * _cap_voltages_batch(mna0, x_new) - ieq
+    if not ok.all():
+        if opts.max_halvings < 1:
+            raise ConvergenceError(
+                f"Newton failed at t={t_prev + h:.4e}s even at dt={h:.2e}s"
+            )
+        for pos in np.nonzero(~ok)[0]:
+            stats["halvings"] += 1
+            x_mid, i_mid = _advance_scalar(mnas[pos], cache, x_prev[pos],
+                                           i_cap_prev[pos], t_prev, 1, opts, stats)
+            x_fin, i_fin = _advance_scalar(mnas[pos], cache, x_mid, i_mid,
+                                           t_prev + h / 2, 1, opts, stats)
+            x_new[pos] = x_fin
+            i_cap_new[pos] = i_fin
+    return x_new, i_cap_new
 
-    solutions = np.empty((n_steps + 1, mna.size))
-    solutions[0] = x
 
-    # Trapezoidal history: capacitor currents at the previous accepted point.
-    # Starting from DC (or UIC) the capacitor currents are zero.
-    i_cap = np.zeros(mna.n_caps)
+def _simulate_group(jobs: Sequence[TransientJob],
+                    mnas: Sequence[MnaSystem]) -> list[TransientResult]:
+    """Batched engine for topology-compatible jobs (shared t_start/dt/options)."""
+    job0 = jobs[0]
+    mna0 = mnas[0]
+    dt = job0.dt
+    t_start = job0.t_start
+    opts = job0.options or TransientOptions()
+    require(dt > 0.0, "dt must be positive")
 
-    # Matrix with companion conductances is constant per step size; cache
-    # the common full-step matrix and rebuild only for halved substeps.
-    a_cache: dict[float, np.ndarray] = {}
+    n_steps = []
+    for job in jobs:
+        require(job.t_stop > t_start, "t_stop must exceed t_start")
+        n = int(round((job.t_stop - t_start) / dt))
+        require(n >= 1, "simulation window shorter than one step")
+        n_steps.append(n)
+    steps_arr = np.asarray(n_steps)
+    n_max = int(steps_arr.max())
+    times = t_start + dt * np.arange(n_max + 1)
 
-    def base_matrix(h: float) -> np.ndarray:
-        if h not in a_cache:
-            a_cache[h] = _cap_stamp_matrix(mna, mna.g_lin.copy(), h)
-        return a_cache[h]
+    batch = len(jobs)
+    x = np.empty((batch, mna0.size))
+    for b, job in enumerate(jobs):
+        x[b] = _initial_state(job.circuit, mnas[b], t_start,
+                              job.initial_voltages, job.use_ic)
 
-    def advance(x_prev: np.ndarray, i_cap_prev: np.ndarray, t_prev: float, h: float,
-                depth: int) -> tuple[np.ndarray, np.ndarray]:
-        """One trapezoidal step from ``t_prev`` to ``t_prev + h``."""
-        geq = 2.0 * mna.cap_c / h
-        vcap_prev = _cap_voltages(mna, x_prev)
-        ieq = geq * vcap_prev + i_cap_prev
-        rhs = mna.source_rhs(t_prev + h)
-        for k in range(mna.n_caps):
-            i, j = int(mna.cap_i[k]), int(mna.cap_j[k])
-            if i >= 0:
-                rhs[i] += ieq[k]
-            if j >= 0:
-                rhs[j] -= ieq[k]
-        x_new = _newton_solve(mna, base_matrix(h), rhs, x_prev, opts)
-        if x_new is None:
-            if depth >= opts.max_halvings:
-                raise ConvergenceError(
-                    f"Newton failed at t={t_prev + h:.4e}s even at dt={h:.2e}s"
-                )
-            x_mid, i_mid = advance(x_prev, i_cap_prev, t_prev, h / 2, depth + 1)
-            return advance(x_mid, i_mid, t_prev + h / 2, h / 2, depth + 1)
-        i_cap_new = geq * _cap_voltages(mna, x_new) - ieq
-        return x_new, i_cap_new
+    solutions = np.empty((batch, n_max + 1, mna0.size))
+    solutions[:, 0] = x
+    i_cap = np.zeros((batch, mna0.n_caps))
+    cache = _StepMatrixCache(mna0, dt)
+    stats = _new_stats(batch_size=batch)
 
-    for step in range(n_steps):
-        x, i_cap = advance(x, i_cap, float(times[step]), dt, 0)
-        solutions[step + 1] = x
+    # Source values for every full step, vectorised over time up front;
+    # halved substeps (rare) evaluate their intermediate times on demand.
+    rhs_series = np.empty((batch, n_max, mna0.size))
+    for b, mna in enumerate(mnas):
+        rhs_series[b] = mna.source_rhs_series(times[1:])
 
-    return TransientResult(mna, times, solutions)
+    alive = np.arange(batch)
+    for step in range(n_max):
+        if alive.size and steps_arr[alive].min() <= step:
+            alive = alive[steps_arr[alive] > step]
+        sub_mnas = [mnas[b] for b in alive]
+        x_new, i_new = _advance_batch(sub_mnas, cache, x[alive], i_cap[alive],
+                                      float(times[step]),
+                                      rhs_series[alive, step], opts, stats)
+        x[alive] = x_new
+        i_cap[alive] = i_new
+        solutions[alive, step + 1] = x_new
+
+    stats["matrix_builds"] = cache.builds
+    return [
+        TransientResult(mnas[b], times[: n_steps[b] + 1],
+                        solutions[b, : n_steps[b] + 1], stats=stats)
+        for b in range(batch)
+    ]
+
+
+def simulate_transient_many(jobs: Sequence[TransientJob]) -> list[TransientResult]:
+    """Simulate many independent jobs, batching compatible ones.
+
+    Jobs are grouped by circuit topology
+    (:meth:`~repro.circuit.mna.MnaSystem.topology_signature`), start time,
+    step and solver options.  Each group of two or more runs through the
+    stacked batched engine; singleton groups use the scalar path.  Results
+    come back in input order and are numerically equivalent to calling
+    :func:`simulate_transient` per job.
+    """
+    jobs = list(jobs)
+    mnas = [MnaSystem(job.circuit) for job in jobs]
+    groups: dict[tuple, list[int]] = {}
+    for k, (job, mna) in enumerate(zip(jobs, mnas)):
+        key = (mna.topology_signature(), job.t_start, job.dt, job.use_ic,
+               job.options or TransientOptions())
+        groups.setdefault(key, []).append(k)
+
+    results: list[TransientResult | None] = [None] * len(jobs)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            k = idxs[0]
+            job = jobs[k]
+            results[k] = _simulate_scalar(
+                job.circuit, mnas[k], job.t_stop, job.dt, job.t_start,
+                job.initial_voltages, job.use_ic,
+                job.options or TransientOptions())
+        else:
+            for k, res in zip(idxs, _simulate_group([jobs[k] for k in idxs],
+                                                    [mnas[k] for k in idxs])):
+                results[k] = res
+    return results  # type: ignore[return-value]
+
+
+def _with_sources(circuit: Circuit, overrides: Mapping[str, object]) -> Circuit:
+    """A shallow variant of ``circuit`` with named sources replaced.
+
+    Topology (nodes, element order) is untouched, so every variant
+    compiles to the same :meth:`~repro.circuit.mna.MnaSystem.topology_signature`.
+    """
+    variant = copy.copy(circuit)
+    variant.vsources = [
+        _dc_replace(v, source=as_source(overrides[v.name])) if v.name in overrides else v
+        for v in circuit.vsources
+    ]
+    variant.isources = [
+        _dc_replace(i, source=as_source(overrides[i.name])) if i.name in overrides else i
+        for i in circuit.isources
+    ]
+    return variant
+
+
+def simulate_transient_batch(
+    circuit: Circuit,
+    stimuli: Sequence[BatchStimulus],
+    t_stop: float,
+    dt: float,
+    t_start: float = 0.0,
+    options: TransientOptions | None = None,
+) -> list[TransientResult]:
+    """Simulate ``B`` variants of one circuit through the batched engine.
+
+    Parameters
+    ----------
+    circuit:
+        The shared topology.
+    stimuli:
+        One :class:`BatchStimulus` per variant: source overrides plus
+        initial state.  Every variant shares the ``t_start``/``dt`` grid;
+        a variant may end earlier via ``BatchStimulus.t_stop``.
+    t_stop, dt, t_start, options:
+        As in :func:`simulate_transient`.
+
+    Returns
+    -------
+    list[TransientResult]
+        One result per stimulus, in order, numerically equivalent to
+        running :func:`simulate_transient` on each variant separately.
+    """
+    require(len(stimuli) >= 1, "need at least one stimulus")
+    known = {v.name for v in circuit.vsources} | {i.name for i in circuit.isources}
+    jobs = []
+    for stim in stimuli:
+        unknown = set(stim.sources) - known
+        require(not unknown, f"unknown source override(s): {sorted(unknown)}")
+        jobs.append(TransientJob(
+            circuit=_with_sources(circuit, stim.sources),
+            t_stop=t_stop if stim.t_stop is None else stim.t_stop,
+            dt=dt,
+            t_start=t_start,
+            initial_voltages=stim.initial_voltages,
+            use_ic=stim.use_ic,
+            options=options,
+        ))
+    return simulate_transient_many(jobs)

@@ -7,6 +7,15 @@ simulator, and measure the resulting output arrival.  The error of a
 technique is the difference between its output arrival and the golden
 output arrival obtained by applying the *actual* noisy waveform to the
 same gate — exactly the Hspice comparison of Table 1.
+
+All fixture circuits for one evaluation share a topology (only the forced
+``Vin`` stimulus differs), so :func:`evaluate_techniques` submits the
+golden run and every technique's Γ_eff re-simulation as one batch to
+:func:`~repro.circuit.transient.simulate_transient_many` — one stacked
+Newton loop instead of ~7 sequential simulations.  Each technique's
+simulation window is extended to cover its *own* ramp
+(``ramp.t_finish + settle_margin``), so a late/slow equivalent ramp is
+never clipped mid-transition by the noisy waveform's window.
 """
 
 from __future__ import annotations
@@ -15,7 +24,8 @@ from dataclasses import dataclass, field
 
 from .._util import require
 from ..circuit.netlist import Circuit
-from ..circuit.transient import simulate_transient
+from ..circuit.transient import (TransientJob, TransientResult,
+                                 simulate_transient_many)
 from ..library.cells import InverterCell
 from .ramp import SaturatedRamp
 from .techniques.base import PropagationInputs, Technique, TechniqueError
@@ -100,21 +110,16 @@ class GateFixture:
             node = f"w{k + 1}"
         return circuit, initial
 
-    def response(self, stimulus: "Waveform | SaturatedRamp",
-                 t_window: tuple[float, float] | None = None) -> GateOutput:
-        """Simulate the fixture driven by ``stimulus`` and measure the output.
+    def transient_job(self, stimulus: "Waveform | SaturatedRamp",
+                      t_window: tuple[float, float] | None = None) -> TransientJob:
+        """Prepare the simulation job for one stimulus (without running it).
 
-        Parameters
-        ----------
-        stimulus:
-            A sampled waveform or an equivalent ramp.  Ramps are sampled
-            over ``t_window`` (required for ramps unless their transition
-            fixes a natural window).
-        t_window:
-            Absolute simulation window.  Defaults to the waveform's span
-            plus the settle margin.
+        Ramps are sampled over ``t_window``; waveform records that end
+        before the window are extended with their settled value.  Jobs
+        built from the same fixture share a topology, so a list of them
+        batches through
+        :func:`~repro.circuit.transient.simulate_transient_many`.
         """
-        vdd = self.cell.vdd
         if isinstance(stimulus, SaturatedRamp):
             if t_window is None:
                 t_window = (stimulus.t_begin - 100e-12,
@@ -133,8 +138,12 @@ class GateFixture:
         require(t_window[1] > t_window[0], "empty simulation window")
 
         circuit, initial = self._build(wave)
-        result = simulate_transient(circuit, t_stop=t_window[1], dt=self.dt,
-                                    t_start=t_window[0], initial_voltages=initial)
+        return TransientJob(circuit=circuit, t_stop=t_window[1], dt=self.dt,
+                            t_start=t_window[0], initial_voltages=initial)
+
+    def measure(self, result: TransientResult) -> GateOutput:
+        """Extract the :class:`GateOutput` measurements from a simulation."""
+        vdd = self.cell.vdd
         v_out = result.waveform("out")
         v_in = result.waveform("in")
         arrival = v_out.arrival_time(vdd, which="last")
@@ -150,6 +159,35 @@ class GateFixture:
             output_slew=out_slew,
             gate_delay=arrival - v_in.arrival_time(vdd, which="last"),
         )
+
+    def response(self, stimulus: "Waveform | SaturatedRamp",
+                 t_window: tuple[float, float] | None = None) -> GateOutput:
+        """Simulate the fixture driven by ``stimulus`` and measure the output.
+
+        Parameters
+        ----------
+        stimulus:
+            A sampled waveform or an equivalent ramp.  Ramps are sampled
+            over ``t_window`` (required for ramps unless their transition
+            fixes a natural window).
+        t_window:
+            Absolute simulation window.  Defaults to the waveform's span
+            plus the settle margin.
+        """
+        return self.measure(self.transient_job(stimulus, t_window).run())
+
+    def response_many(self, requests: "list[tuple[Waveform | SaturatedRamp, tuple[float, float] | None]]",
+                      batch: bool = True) -> list[GateOutput]:
+        """Simulate many stimuli against this fixture, batched by default.
+
+        ``requests`` is a list of ``(stimulus, t_window)`` pairs (window
+        semantics as in :meth:`response`).  With ``batch=False`` each
+        stimulus runs through the sequential engine — useful for
+        benchmarking and as a numerical cross-check.
+        """
+        jobs = [self.transient_job(stim, win) for stim, win in requests]
+        results = simulate_transient_many(jobs) if batch else [j.run() for j in jobs]
+        return [self.measure(r) for r in results]
 
 
 @dataclass(frozen=True)
@@ -187,8 +225,20 @@ def evaluate_techniques(
     inputs: PropagationInputs,
     techniques: list[Technique],
     golden: GateOutput | None = None,
+    batch: bool = True,
 ) -> tuple[GateOutput, dict[str, TechniqueEvaluation]]:
     """Score ``techniques`` on one noisy waveform against the golden gate.
+
+    The golden run and every technique's re-simulation share the fixture
+    topology, so they are submitted as one batch (a single stacked Newton
+    loop) unless ``batch=False``.
+
+    Each technique's window covers its *own* equivalent ramp: sampling a
+    late/slow ramp over only the noisy waveform's span would clip it
+    mid-transition and measure the "output arrival" on a truncated
+    record, so per technique the window is widened to
+    ``[min(start, ramp.t_begin - 100 ps), max(end, ramp.t_finish +
+    settle_margin)]``.
 
     Parameters
     ----------
@@ -201,21 +251,53 @@ def evaluate_techniques(
     golden:
         Pre-computed golden response (the fixture driven by the noisy
         waveform itself); computed here when omitted.
+    batch:
+        ``False`` runs every simulation sequentially (numerically
+        equivalent; used by the batching benchmark as the baseline).
 
     Returns
     -------
     (golden, results):
         The golden response and a name → evaluation map.
     """
-    if golden is None:
-        golden = fixture.response(inputs.v_in_noisy)
-    window = (inputs.v_in_noisy.t_start, inputs.v_in_noisy.t_end + fixture.settle_margin)
+    base_window = (inputs.v_in_noisy.t_start,
+                   inputs.v_in_noisy.t_end + fixture.settle_margin)
     results: dict[str, TechniqueEvaluation] = {}
+
+    evaluable: list[tuple[Technique, SaturatedRamp]] = []
+    jobs = []
+    if golden is None:
+        jobs.append(fixture.transient_job(
+            inputs.v_in_noisy, (inputs.v_in_noisy.t_start, base_window[1])))
     for tech in techniques:
         try:
             ramp = tech.equivalent_waveform(inputs)
-            out = fixture.response(ramp, t_window=window)
+            # Cover the technique's own ramp on both sides: an early ramp
+            # would otherwise be sampled from mid-transition, a late one
+            # clipped before it completes.
+            window = (min(base_window[0], ramp.t_begin - 100e-12),
+                      max(base_window[1], ramp.t_finish + fixture.settle_margin))
+            job = fixture.transient_job(ramp, window)
         except (TechniqueError, ValueError) as exc:
+            results[tech.name] = TechniqueEvaluation(
+                technique=tech.name, ramp=None, output=None,
+                arrival_error=None, delay_error=None, failed=str(exc),
+            )
+            continue
+        evaluable.append((tech, ramp))
+        jobs.append(job)
+    sims = simulate_transient_many(jobs) if batch else [j.run() for j in jobs]
+
+    cursor = 0
+    if golden is None:
+        golden = fixture.measure(sims[0])
+        cursor = 1
+    for tech, ramp in evaluable:
+        sim = sims[cursor]
+        cursor += 1
+        try:
+            out = fixture.measure(sim)
+        except ValueError as exc:
             results[tech.name] = TechniqueEvaluation(
                 technique=tech.name, ramp=None, output=None,
                 arrival_error=None, delay_error=None, failed=str(exc),

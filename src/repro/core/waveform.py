@@ -358,6 +358,17 @@ class Waveform:
         -------
         float
             Positive transition time in seconds.
+
+        Raises
+        ------
+        ValueError
+            If the waveform never reaches one of the levels, or if the
+            band traversal is *inverted* — the measured exit from the
+            transition band precedes the entry (e.g. a waveform that
+            starts beyond the far threshold and dips through the band
+            before settling).  Such a record has no meaningful slew;
+            wrapping the difference in ``abs()`` would silently report a
+            plausible-looking positive number instead.
         """
         require(mode in ("noisy", "clean"), "mode must be 'noisy' or 'clean'")
         pol = self.polarity()
@@ -370,7 +381,14 @@ class Waveform:
             start_level, end_level = v_hi, v_lo
         t_begin = self.cross_time(start_level, which="first")
         t_end = self.cross_time(end_level, which="last" if mode == "noisy" else "first")
-        return abs(t_end - t_begin)
+        if t_end <= t_begin:
+            raise ValueError(
+                f"inverted transition band traversal: {end_level:.4f} V is "
+                f"exited at {t_end:.4e}s before the band is entered at "
+                f"{start_level:.4f} V ({t_begin:.4e}s); no meaningful "
+                f"{low_frac:.0%}-{high_frac:.0%} slew exists"
+            )
+        return t_end - t_begin
 
     def critical_region(
         self, vdd: float, low_frac: float = 0.1, high_frac: float = 0.9

@@ -16,6 +16,7 @@ from .noise_injection import (
     alignment_offsets,
     iter_noise_cases,
     run_noise_case,
+    run_noise_cases,
     run_noiseless,
 )
 from .runtime import (
@@ -55,6 +56,7 @@ __all__ = [
     "alignment_offsets",
     "run_noiseless",
     "run_noise_case",
+    "run_noise_cases",
     "iter_noise_cases",
     "Table1Row",
     "Table1Result",

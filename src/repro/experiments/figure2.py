@@ -18,7 +18,7 @@ from ..core.propagation import GateFixture
 from ..core.techniques import PropagationInputs
 from ..core.techniques.sgdp import Sgdp
 from ..core.waveform import Waveform
-from .noise_injection import SweepTiming, run_noise_case, run_noiseless
+from .noise_injection import SweepTiming, run_noise_cases
 from .setup import CONFIG_I, CrosstalkConfig, receiver_fixture
 
 __all__ = ["Figure2Data", "generate_figure2", "ascii_plot"]
@@ -77,9 +77,11 @@ def generate_figure2(
     situation panel (b) of the paper illustrates.
     """
     timing = timing or SweepTiming()
-    ref = run_noiseless(config, timing)
-    case = run_noise_case(config, tuple(offset for _ in range(config.n_aggressors)),
-                          timing)
+    # The noiseless reference and the noise case share a topology: one batch.
+    ref, cases = run_noise_cases(
+        config, [tuple(offset for _ in range(config.n_aggressors))],
+        timing, include_noiseless=True)
+    case = cases[0]
     inputs = PropagationInputs(
         v_in_noisy=case.v_in_noisy, vdd=config.vdd,
         v_in_noiseless=ref.v_in, v_out_noiseless=ref.v_out,

@@ -7,6 +7,12 @@ noisy waveform at the victim far end (``in_u``) together with the golden
 receiver output (``out_u``).  One additional run with quiet aggressors
 yields the noiseless reference pair every sensitivity-based technique
 needs.
+
+All cases of a sweep share the Figure 1 topology — only the aggressor
+source timings differ — so :func:`run_noise_cases` submits the whole
+sweep (optionally including the quiet-aggressor reference, whose circuit
+differs only in its source functions) as one batch to
+:func:`~repro.circuit.transient.simulate_transient_many`.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import require
-from ..circuit.transient import simulate_transient
+from ..circuit.transient import TransientJob, simulate_transient, simulate_transient_many
 from ..core.waveform import Waveform
 from .setup import CrosstalkConfig, Testbench, build_testbench
 
@@ -27,6 +33,7 @@ __all__ = [
     "alignment_offsets",
     "run_noiseless",
     "run_noise_case",
+    "run_noise_cases",
     "iter_noise_cases",
 ]
 
@@ -146,6 +153,97 @@ def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
         v_out_noisy=v_out,
         golden_output_arrival=v_out.arrival_time(config.vdd, which="last"),
     )
+
+
+def _bench_job(bench: Testbench, timing: SweepTiming) -> TransientJob:
+    return TransientJob(bench.circuit, t_stop=timing.t_stop, dt=timing.dt,
+                        initial_voltages=bench.initial_voltages)
+
+
+def _case_from(bench: Testbench, result, config: CrosstalkConfig,
+               offsets: tuple[float, ...]) -> NoiseCase:
+    v_in = result.waveform(bench.nodes.victim_far_end)
+    v_out = result.waveform(bench.nodes.receiver_out)
+    return NoiseCase(
+        offsets=tuple(offsets),
+        v_in_noisy=v_in,
+        v_out_noisy=v_out,
+        golden_output_arrival=v_out.arrival_time(config.vdd, which="last"),
+    )
+
+
+def run_noise_cases(
+    config: CrosstalkConfig,
+    offsets_list: "list[tuple[float, ...]]",
+    timing: SweepTiming | None = None,
+    include_noiseless: bool = False,
+    batch: bool = True,
+) -> tuple[NoiselessReference | None, list[NoiseCase]]:
+    """Simulate many aggressor alignments through the batched engine.
+
+    All alignment cases (and the optional quiet-aggressor reference)
+    share one circuit topology, so they advance through a single stacked
+    Newton loop — the batched replacement for looping
+    :func:`run_noise_case`.
+
+    Parameters
+    ----------
+    config:
+        The crosstalk configuration.
+    offsets_list:
+        One per-aggressor offset tuple per case.
+    timing:
+        Sweep timing frame.
+    include_noiseless:
+        Also simulate the quiet-aggressor reference (in the same batch)
+        and return it as the first element.
+    batch:
+        ``False`` falls back to sequential per-case simulation
+        (numerically equivalent; the benchmark's baseline).
+
+    Returns
+    -------
+    (noiseless, cases):
+        The reference (or ``None``) and one :class:`NoiseCase` per offset
+        tuple, in order.
+    """
+    timing = timing or SweepTiming()
+    if not batch:
+        ref = run_noiseless(config, timing) if include_noiseless else None
+        return ref, [run_noise_case(config, offs, timing) for offs in offsets_list]
+
+    benches: list[Testbench] = []
+    if include_noiseless:
+        benches.append(build_testbench(
+            config, victim_start=timing.victim_start,
+            aggressor_starts=[timing.victim_start] * config.n_aggressors,
+            aggressor_active=False))
+    for offsets in offsets_list:
+        require(len(offsets) == config.n_aggressors, "one offset per aggressor")
+        starts = [timing.victim_start + off for off in offsets]
+        benches.append(build_testbench(config, victim_start=timing.victim_start,
+                                       aggressor_starts=starts,
+                                       aggressor_active=True))
+
+    results = simulate_transient_many([_bench_job(b, timing) for b in benches])
+
+    ref: NoiselessReference | None = None
+    cursor = 0
+    if include_noiseless:
+        bench0, res0 = benches[0], results[0]
+        v_in = res0.waveform(bench0.nodes.victim_far_end)
+        v_out = res0.waveform(bench0.nodes.receiver_out)
+        ref = NoiselessReference(
+            v_in=v_in, v_out=v_out,
+            output_arrival=v_out.arrival_time(config.vdd, which="last"),
+        )
+        cursor = 1
+    cases = [
+        _case_from(bench, result, config, offsets)
+        for bench, result, offsets in zip(benches[cursor:], results[cursor:],
+                                          offsets_list)
+    ]
+    return ref, cases
 
 
 def iter_noise_cases(config: CrosstalkConfig, n_cases: int,

@@ -18,6 +18,13 @@ a single-direction sweep is available via ``polarity="opposing"`` /
 The case count defaults to the ``REPRO_CASES`` environment variable
 (falling back to 24 for tractable CI runs); set ``REPRO_CASES=200`` to
 match the paper's sweep density.
+
+The sweep is batched end to end: all coupled-circuit noise cases of one
+polarity (plus the quiet-aggressor reference) run through one stacked
+transient solve, and each case's golden-plus-techniques fixture
+re-simulations form a second batch — see
+:func:`~repro.circuit.transient.simulate_transient_many`.  Pass
+``batch=False`` for the sequential baseline.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from .._util import require
 from ..core.metrics import ErrorStats, error_stats, format_ps
 from ..core.propagation import evaluate_techniques
 from ..core.techniques import PropagationInputs, Technique, all_techniques
-from .noise_injection import NoiselessReference, SweepTiming, alignment_offsets, run_noise_case, run_noiseless
+from .noise_injection import NoiselessReference, SweepTiming, alignment_offsets, run_noise_cases
 from .setup import CrosstalkConfig, receiver_fixture
 
 __all__ = ["Table1Row", "Table1Result", "run_table1", "default_case_count",
@@ -113,6 +120,7 @@ def run_table1(
     polarity: str = "both",
     noiseless: NoiselessReference | None = None,
     progress: bool = False,
+    batch: bool = True,
 ) -> Table1Result:
     """Run the Table 1 sweep for one configuration.
 
@@ -136,6 +144,11 @@ def run_table1(
         the reference is identical — aggressors are quiet).
     progress:
         Print one line per case (for long interactive runs).
+    batch:
+        Run the coupled-circuit sweep and each case's technique
+        re-simulations through the batched transient engine (default).
+        ``False`` reproduces the sequential per-simulation path —
+        numerically equivalent, used as the benchmark baseline.
 
     Returns
     -------
@@ -160,24 +173,28 @@ def run_table1(
 
     for (label, opposing), n_here in zip(plans, counts):
         cfg = replace(config, aggressors_opposing=opposing)
-        ref = noiseless if noiseless is not None else run_noiseless(cfg, timing)
-        for base in alignment_offsets(n_here, timing.window):
-            offsets = tuple(base for _ in range(cfg.n_aggressors))
-            case = run_noise_case(cfg, offsets, timing)
+        offsets_list = [tuple(base for _ in range(cfg.n_aggressors))
+                        for base in alignment_offsets(n_here, timing.window)]
+        ref, cases = run_noise_cases(cfg, offsets_list, timing,
+                                     include_noiseless=noiseless is None,
+                                     batch=batch)
+        ref = noiseless if noiseless is not None else ref
+        for case in cases:
             inputs = PropagationInputs(
                 v_in_noisy=case.v_in_noisy,
                 vdd=cfg.vdd,
                 v_in_noiseless=ref.v_in,
                 v_out_noiseless=ref.v_out,
             )
-            _, results = evaluate_techniques(fixture, inputs, techs)
+            _, results = evaluate_techniques(fixture, inputs, techs, batch=batch)
             for name, ev in results.items():
                 delay_errors[name].append(ev.delay_error)
                 arrival_errors[name].append(ev.arrival_error)
             if progress:
                 worst = max((abs(e.delay_error or 0.0) for e in results.values()),
                             default=0.0)
-                print(f"  config {config.name} {label} offset {base * 1e12:+6.1f} ps "
+                print(f"  config {config.name} {label} offset "
+                      f"{case.offsets[0] * 1e12:+6.1f} ps "
                       f"worst |err| {worst * 1e12:6.1f} ps")
 
     order = [t.name for t in techs]

@@ -4,7 +4,15 @@ arrival propagation, and the noise-aware equivalent-waveform mode."""
 from .analysis import EdgeTiming, InputSpec, StaEngine, StaResult
 from .graph import TimingGraph, TimingGraphError
 from .netlist import GateInstance, GateNetlist, NetlistError, parse_structural_verilog
-from .noise_aware import AggressorSpec, NoisyStage, StageTiming, propagate_path
+from .noise_aware import (
+    AggressorSpec,
+    NoisyStage,
+    QuietReferenceCache,
+    StageTiming,
+    clear_quiet_cache,
+    propagate_path,
+    quiet_cache_stats,
+)
 
 __all__ = [
     "GateNetlist",
@@ -21,4 +29,7 @@ __all__ = [
     "NoisyStage",
     "StageTiming",
     "propagate_path",
+    "QuietReferenceCache",
+    "clear_quiet_cache",
+    "quiet_cache_stats",
 ]

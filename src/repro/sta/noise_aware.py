@@ -16,16 +16,45 @@ walks a chain of such stages.  At each coupled stage it
 A full-waveform reference mode propagates the actual simulated waveform
 instead, so the per-stage and accumulated abstraction error of any
 technique can be measured — the multi-stage generalisation of Table 1.
+
+Simulation strategy
+-------------------
+The noisy stage and its quiet-aggressor (noiseless) reference are
+submitted together to
+:func:`~repro.circuit.transient.simulate_transient_many`; stages without
+aggressors share a topology with their reference and advance through one
+stacked Newton loop.
+
+The quiet reference depends only on the stage configuration and the
+incoming stimulus — not on the aggressor alignment — so it is memoised in
+a :class:`QuietReferenceCache` keyed on ``(quiet stage, stimulus record,
+window end, dt)``.  Re-propagating the same path (for another technique,
+another aggressor alignment, or a reference run) re-simulates each
+distinct quiet reference exactly once; the cache is shared module-wide by
+default, can be passed explicitly, and :func:`clear_quiet_cache` resets
+it (its ``hits``/``misses`` counters double as a test spy).
+
+Slew fallback policy
+--------------------
+A partial-swing receiver output has no 10–90 slew; the equivalent ramp
+handed to the next stage then needs a substitute value.  That policy is
+explicit: ``propagate_path(..., slew_fallback=...)`` gives the substitute
+(default 100 ps, the historical behaviour), ``slew_fallback=None`` raises
+instead.  Every substitution is recorded on the returned
+:class:`StageTiming` (``output_slew_substituted`` /
+``retime_slew_substituted``).
 """
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from .._util import require
 from ..circuit.netlist import Circuit
 from ..circuit.sources import RampSource
-from ..circuit.transient import simulate_transient
+from ..circuit.transient import TransientJob, simulate_transient, simulate_transient_many
 from ..core.ramp import SaturatedRamp
 from ..core.techniques import PropagationInputs, Technique
 from ..core.techniques.sgdp import Sgdp
@@ -34,7 +63,15 @@ from ..interconnect.coupling import CouplingSpec, add_coupled_lines
 from ..interconnect.rcline import RcLineSpec
 from ..library.cells import InverterCell
 
-__all__ = ["AggressorSpec", "NoisyStage", "StageTiming", "propagate_path"]
+__all__ = [
+    "AggressorSpec",
+    "NoisyStage",
+    "StageTiming",
+    "propagate_path",
+    "QuietReferenceCache",
+    "clear_quiet_cache",
+    "quiet_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -94,7 +131,14 @@ class StageTiming:
     output_arrival:
         Latest 0.5·Vdd crossing of the receiver output.
     output_slew:
-        Receiver output 10–90% transition time.
+        Receiver output 10–90% transition time (NaN for partial swings).
+    output_slew_substituted:
+        True when ``output_slew`` was NaN and ``ramp`` was built with the
+        ``slew_fallback`` substitute instead.
+    retime_slew_substituted:
+        True when the re-timed receiver output (technique mode) had no
+        measurable slew and the fallback was substituted for the next
+        stage's stimulus.
     """
 
     ramp: SaturatedRamp
@@ -102,6 +146,64 @@ class StageTiming:
     v_receiver_out: Waveform
     output_arrival: float
     output_slew: float
+    output_slew_substituted: bool = False
+    retime_slew_substituted: bool = False
+
+
+class QuietReferenceCache:
+    """Memoised quiet-aggressor reference simulations.
+
+    Maps ``(quiet stage, stimulus waveform, window end, dt)`` to the
+    simulated ``(far-end, receiver-output)`` waveform pair.  A bounded
+    FIFO keeps memory flat on long sweeps; ``hits``/``misses`` expose the
+    behaviour to tests and benchmarks.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        require(maxsize >= 1, "cache needs at least one slot")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[tuple, tuple[Waveform, Waveform]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple) -> tuple[Waveform, Waveform] | None:
+        """The cached waveform pair, or ``None`` (counted as a miss)."""
+        pair = self._data.get(key)
+        if pair is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pair
+
+    def store(self, key: tuple, pair: tuple[Waveform, Waveform]) -> None:
+        """Insert a simulated pair, evicting the oldest entry when full."""
+        if key not in self._data and len(self._data) >= self.maxsize:
+            self._data.popitem(last=False)
+        self._data[key] = pair
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+#: Module-wide cache shared by all :func:`propagate_path` calls.
+_QUIET_CACHE = QuietReferenceCache()
+
+
+def clear_quiet_cache() -> None:
+    """Reset the module-wide quiet-reference cache (tests, sweeps)."""
+    _QUIET_CACHE.clear()
+
+
+def quiet_cache_stats() -> dict[str, int]:
+    """Hits/misses/size of the module-wide quiet-reference cache."""
+    return {"hits": _QUIET_CACHE.hits, "misses": _QUIET_CACHE.misses,
+            "size": len(_QUIET_CACHE)}
 
 
 def _build_stage_circuit(stage: NoisyStage, vdd: float) -> tuple[Circuit, dict[str, float], str, str]:
@@ -147,6 +249,23 @@ def _stage_initial(stage: NoisyStage, vdd: float, input_level: float) -> dict[st
     return initial
 
 
+def _slew_or_fallback(slew: float, fallback: float | None,
+                      context: str) -> tuple[float, bool]:
+    """Apply the explicit slew-substitution policy.
+
+    Returns ``(usable slew, substituted?)``; raises :class:`ValueError`
+    when the slew is NaN (partial swing) and no fallback is allowed.
+    """
+    if not math.isnan(slew):
+        return slew, False
+    if fallback is None:
+        raise ValueError(
+            f"{context}: output transition has no measurable 10-90 slew "
+            f"(partial swing) and slew_fallback is None"
+        )
+    return fallback, True
+
+
 def propagate_path(
     stages: list[NoisyStage],
     input_ramp: SaturatedRamp,
@@ -154,6 +273,8 @@ def propagate_path(
     dt: float = 2e-12,
     settle_margin: float = 800e-12,
     full_waveform: bool = False,
+    slew_fallback: float | None = 100e-12,
+    quiet_cache: QuietReferenceCache | None = None,
 ) -> list[StageTiming]:
     """Propagate timing through a chain of (possibly coupled) stages.
 
@@ -173,6 +294,16 @@ def propagate_path(
     full_waveform:
         ``True`` propagates the actual simulated waveform between stages
         (reference mode) instead of the equivalent ramp.
+    slew_fallback:
+        Substitute slew (seconds) when a receiver output has no
+        measurable 10–90 transition (partial swing).  ``None`` raises
+        :class:`ValueError` instead of substituting.  Substitutions are
+        recorded on the returned :class:`StageTiming` entries.
+    quiet_cache:
+        Cache of quiet-reference simulations; defaults to the module-wide
+        instance, so repeated propagation over the same stage
+        configuration and stimulus simulates the noiseless reference
+        exactly once.
 
     Returns
     -------
@@ -181,10 +312,11 @@ def propagate_path(
     """
     require(len(stages) >= 1, "need at least one stage")
     tech = technique or Sgdp()
+    cache = quiet_cache if quiet_cache is not None else _QUIET_CACHE
     results: list[StageTiming] = []
     stimulus: "Waveform | SaturatedRamp" = input_ramp
 
-    for stage in stages:
+    for stage_index, stage in enumerate(stages):
         vdd = stage.driver.vdd
         if isinstance(stimulus, SaturatedRamp):
             t0 = stimulus.t_begin - 100e-12
@@ -204,24 +336,36 @@ def propagate_path(
                                list(wave_in.values) + [wave_in.v_final])
         circuit.vsource("Vin", "in", "0", wave_in)
         initial = _stage_initial(stage, vdd, wave_in.v_initial)
-        sim = simulate_transient(circuit, t_stop=t1, dt=dt,
-                                 t_start=wave_in.t_start, initial_voltages=initial)
-        v_far = sim.waveform(far)
-        v_out = sim.waveform(out)
+        jobs = [TransientJob(circuit, t_stop=t1, dt=dt,
+                             t_start=wave_in.t_start, initial_voltages=initial)]
 
-        # Noiseless reference for the receiver: same stage, quiet aggressors.
+        # Noiseless reference for the receiver: same stage, quiet
+        # aggressors — memoised per (stage config, stimulus, window, dt).
         quiet = NoisyStage(driver=stage.driver, line=stage.line,
                            receiver=stage.receiver, aggressors=(),
                            receiver_load=stage.receiver_load)
-        qc, _, qfar, qout = _build_stage_circuit(quiet, vdd)
-        qc.vsource("Vin", "in", "0", wave_in)
-        qsim = simulate_transient(qc, t_stop=t1, dt=dt, t_start=wave_in.t_start,
-                                  initial_voltages=_stage_initial(quiet, vdd,
-                                                                  wave_in.v_initial))
+        quiet_key = (quiet, wave_in, t1, dt)
+        quiet_pair = cache.lookup(quiet_key)
+        if quiet_pair is None:
+            qc, _, qfar, qout = _build_stage_circuit(quiet, vdd)
+            qc.vsource("Vin", "in", "0", wave_in)
+            jobs.append(TransientJob(
+                qc, t_stop=t1, dt=dt, t_start=wave_in.t_start,
+                initial_voltages=_stage_initial(quiet, vdd, wave_in.v_initial)))
+
+        # Aggressor-free stages share a topology with their quiet
+        # reference, so this advances both through one stacked solve.
+        sims = simulate_transient_many(jobs)
+        v_far = sims[0].waveform(far)
+        v_out = sims[0].waveform(out)
+        if quiet_pair is None:
+            quiet_pair = (sims[1].waveform(qfar), sims[1].waveform(qout))
+            cache.store(quiet_key, quiet_pair)
+
         inputs = PropagationInputs(
             v_in_noisy=v_far, vdd=vdd,
-            v_in_noiseless=qsim.waveform(qfar),
-            v_out_noiseless=qsim.waveform(qout),
+            v_in_noiseless=quiet_pair[0],
+            v_out_noiseless=quiet_pair[1],
         )
         gamma_in = tech.equivalent_waveform(inputs)
 
@@ -230,20 +374,15 @@ def propagate_path(
             out_slew = v_out.slew(vdd)
         except ValueError:
             out_slew = float("nan")
+        ramp_slew, out_substituted = _slew_or_fallback(
+            out_slew, slew_fallback, f"stage {stage_index} receiver output")
         out_rising = v_out.polarity() == "rising"
         # Summary of the receiver *output* as (arrival, slew) — what a
         # conventional STA would carry across the stage boundary.
         out_ramp = SaturatedRamp.from_arrival_slew(
-            arrival=arrival, slew=out_slew if out_slew == out_slew else 100e-12,
-            vdd=vdd, rising=out_rising)
-        results.append(StageTiming(
-            ramp=out_ramp,
-            v_receiver_in=v_far,
-            v_receiver_out=v_out,
-            output_arrival=arrival,
-            output_slew=out_slew,
-        ))
+            arrival=arrival, slew=ramp_slew, vdd=vdd, rising=out_rising)
 
+        retime_substituted = False
         if full_waveform:
             stimulus = v_out
         else:
@@ -267,8 +406,20 @@ def propagate_path(
             try:
                 slw = re_v_out.slew(vdd)
             except ValueError:
-                slw = 100e-12
+                slw = float("nan")
+            slw, retime_substituted = _slew_or_fallback(
+                slw, slew_fallback, f"stage {stage_index} re-timed output")
             stimulus = SaturatedRamp.from_arrival_slew(
                 arrival=arr, slew=slw, vdd=vdd,
                 rising=re_v_out.polarity() == "rising")
+
+        results.append(StageTiming(
+            ramp=out_ramp,
+            v_receiver_in=v_far,
+            v_receiver_out=v_out,
+            output_arrival=arrival,
+            output_slew=out_slew,
+            output_slew_substituted=out_substituted,
+            retime_slew_substituted=retime_substituted,
+        ))
     return results

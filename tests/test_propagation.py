@@ -75,3 +75,74 @@ class TestEvaluateTechniques:
         assert golden2 is golden
         # Clean stimulus: P2's ramp reproduces the golden delay closely.
         assert abs(results["P2"].delay_error) < 30e-12
+
+    def test_batched_matches_sequential(self, fixture):
+        wave = sigmoid_edge(0.5e-9, 150e-12, t_start=0.0, t_end=1.5e-9)
+        inputs = PropagationInputs(v_in_noisy=wave, vdd=VDD)
+        techs = [technique_by_name("P2"), technique_by_name("E4")]
+        golden_b, res_b = evaluate_techniques(fixture, inputs, techs, batch=True)
+        golden_s, res_s = evaluate_techniques(fixture, inputs, techs, batch=False)
+        assert golden_b.output_arrival == pytest.approx(
+            golden_s.output_arrival, abs=1e-13)
+        for name in ("P2", "E4"):
+            assert res_b[name].delay_error == pytest.approx(
+                res_s[name].delay_error, abs=1e-13)
+
+    def test_late_ramp_window_not_truncated(self, fixture):
+        # Regression: a technique whose equivalent ramp transitions *after*
+        # the noisy waveform's record used to be sampled over the noisy
+        # window only — the stimulus was clipped mid-transition and the
+        # "output arrival" measured on a truncated record.  The window now
+        # extends to ramp.t_finish + settle_margin per technique.
+        wave = sigmoid_edge(0.5e-9, 150e-12, t_start=0.0, t_end=0.9e-9)
+
+        class LateRamp:
+            name = "LATE"
+
+            def equivalent_waveform(self, inputs):
+                # Transition completes ~0.9 ns after the noisy record ends,
+                # well past the old window end (t_end + settle_margin).
+                return SaturatedRamp.from_arrival_slew(
+                    arrival=wave.t_end + 0.8e-9, slew=150e-12, vdd=VDD)
+
+        inputs = PropagationInputs(v_in_noisy=wave, vdd=VDD)
+        golden = fixture.response(wave)
+        _, results = evaluate_techniques(fixture, inputs, [LateRamp()],
+                                         golden=golden)
+        ev = results["LATE"]
+        assert ev.failed is None
+        ramp = ev.ramp
+        # The simulated record covers the whole ramp plus the settle
+        # margin (the grid rounds t_stop to the nearest step).
+        assert ev.output.v_in.t_end >= ramp.t_finish + fixture.settle_margin - fixture.dt
+        # The stimulus completes its transition (not clipped mid-swing)...
+        assert ev.output.v_in.v_final == pytest.approx(VDD, abs=1e-6)
+        # ...and the output responds to it and settles.
+        assert ev.output.output_arrival > ramp.arrival_time()
+        assert ev.output.v_out.v_final == pytest.approx(0.0, abs=0.02)
+
+    def test_early_ramp_window_not_truncated(self, fixture):
+        # Mirror case: a ramp that *begins* before the noisy record would
+        # be sampled from mid-transition (and the fixture's DC state
+        # seeded mid-swing) if the window start were not extended too.
+        wave = sigmoid_edge(0.5e-9, 150e-12, t_start=0.4e-9, t_end=1.4e-9)
+
+        class EarlyRamp:
+            name = "EARLY"
+
+            def equivalent_waveform(self, inputs):
+                # Transition starts well before the noisy record's t_start.
+                return SaturatedRamp.from_arrival_slew(
+                    arrival=wave.t_start - 0.1e-9, slew=150e-12, vdd=VDD)
+
+        inputs = PropagationInputs(v_in_noisy=wave, vdd=VDD)
+        golden = fixture.response(wave)
+        _, results = evaluate_techniques(fixture, inputs, [EarlyRamp()],
+                                         golden=golden)
+        ev = results["EARLY"]
+        assert ev.failed is None
+        # The stimulus record starts on the pre-transition rail, covering
+        # the whole ramp, not a mid-swing sample.
+        assert ev.output.v_in.t_start <= ev.ramp.t_begin
+        assert ev.output.v_in.v_initial == pytest.approx(0.0, abs=1e-6)
+        assert ev.output.v_out.v_final == pytest.approx(0.0, abs=0.02)

@@ -182,6 +182,25 @@ class TestMeasurements:
         w = sigmoid_edge(1e-9, 120e-12, rising=False)
         assert w.slew(VDD) == pytest.approx(120e-12, rel=5e-3)
 
+    def test_slew_inverted_band_traversal_raises(self):
+        # Starts above the 90% level, dips through the band, then settles
+        # slightly higher: overall polarity is "rising", but the first
+        # 90%-crossing precedes the first 10%-crossing.  The old abs()
+        # wrapper silently reported a plausible positive slew here.
+        w = Waveform([0.0, 0.4e-9, 0.8e-9, 1.2e-9],
+                     [1.10, 0.05, 0.05, 1.19])
+        with pytest.raises(ValueError, match="inverted transition band"):
+            w.slew(VDD, mode="clean")
+
+    def test_slew_inverted_band_traversal_noisy_mode(self):
+        # A glitch over the 90% level followed by a partial-swing settle:
+        # the *last* 90%-crossing (back edge of the glitch) precedes the
+        # first 10%-crossing, so the noisy-rule measurement is inverted.
+        w = Waveform([0.0, 0.3e-9, 0.7e-9, 1.0e-9],
+                     [0.30, 1.15, 0.05, 0.50])
+        with pytest.raises(ValueError, match="inverted transition band"):
+            w.slew(VDD, mode="noisy")
+
     def test_critical_region_rising(self):
         w = sigmoid_edge(1e-9, 100e-12)
         t0, t1 = w.critical_region(VDD)
