@@ -8,16 +8,23 @@ Public surface:
 * :func:`~repro.circuit.transient.simulate_transient_batch` /
   :func:`~repro.circuit.transient.simulate_transient_many` — batched
   transient analysis over stacked matrices (many stimuli, one Newton loop)
-* :func:`~repro.circuit.dc.dc_operating_point` — DC solve with gmin stepping
+* :func:`~repro.circuit.dc.dc_operating_point` /
+  :func:`~repro.circuit.dc.dc_operating_point_batch` — DC solves with gmin
+  stepping (stacked over topology-sharing variants in the batch form)
+* Pluggable linear-solver backends (:mod:`repro.circuit.solvers`):
+  dense LU, banded/(block-)tridiagonal Thomas, sparse LU — selected per
+  topology from the MNA sparsity pattern
 * Source functions (:class:`Dc`, :class:`Pwl`, :class:`RampSource`, …)
 * MOSFET parameter sets (:data:`NMOS_013`, :data:`PMOS_013`)
 """
 
-from .dc import DcConvergenceError, DcResult, dc_operating_point
+from .dc import (DcConvergenceError, DcResult, dc_operating_point,
+                 dc_operating_point_batch)
 from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
 from .mna import MnaSystem
 from .mosfet import MosfetParams, NMOS_013, PMOS_013, mosfet_eval
 from .netlist import Circuit, GROUND
+from .solvers import BACKENDS, MatrixStructure, analyze_pattern, select_backend
 from .sources import Dc, Pwl, PulseSource, RampSource, SourceFunction, WaveformSource
 from .transient import (
     BatchStimulus,
@@ -58,6 +65,11 @@ __all__ = [
     "TransientOptions",
     "ConvergenceError",
     "dc_operating_point",
+    "dc_operating_point_batch",
     "DcResult",
     "DcConvergenceError",
+    "BACKENDS",
+    "MatrixStructure",
+    "analyze_pattern",
+    "select_backend",
 ]

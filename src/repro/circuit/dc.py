@@ -1,22 +1,42 @@
-"""DC operating-point analysis.
+"""DC operating-point analysis — scalar and batched.
 
 Solves the nonlinear resistive network (capacitors open) with damped
 Newton–Raphson.  Robustness comes from *gmin stepping*: when plain Newton
 fails, a large leak conductance to ground is added and progressively
 relaxed, each stage warm-starting the next — the standard SPICE fallback,
 which handles inverter chains with ill-conditioned intermediate states.
+Each stage is solved exactly once; the final stage removes the leak
+(``gmin = 0``), so the returned operating point is always that of the
+unmodified network.
+
+:func:`dc_operating_point_batch` applies the transient engine's stacked
+treatment to initial states: all variants of one topology (identical
+structure, different source values) advance through a single batched
+Newton loop, and MOSFET-free stacks collapse to one structured linear
+solve against ``B`` right-hand sides using the backend selected from the
+topology's sparsity pattern (see :mod:`repro.circuit.solvers`).  Variants
+the batched pass cannot converge fall back, individually, to the scalar
+gmin-stepping path.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from .mna import MnaSystem
+from .._util import require
+from .mna import MnaSystem, stacked_newton
 from .netlist import Circuit
+from .solvers import factorize, select_backend
 
-__all__ = ["DcResult", "dc_operating_point", "DcConvergenceError"]
+__all__ = ["DcResult", "dc_operating_point", "dc_operating_point_batch",
+           "DcConvergenceError"]
+
+#: gmin-stepping schedule: heavy leak first, relaxed to the exact system.
+GMIN_STAGES = (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 0.0)
 
 
 class DcConvergenceError(RuntimeError):
@@ -30,11 +50,30 @@ class DcResult:
     solution: np.ndarray
     node_names: tuple[str, ...]
 
+    @cached_property
+    def _name_index(self) -> dict[str, int]:
+        # Built on first name lookup; repeated voltage() calls are O(1)
+        # instead of an O(n) list scan per call.
+        return {name: i for i, name in enumerate(self.node_names)}
+
     def voltage(self, node: str) -> float:
-        """Voltage at ``node`` (0 for ground)."""
+        """Voltage at ``node`` (0 for ground).
+
+        Raises
+        ------
+        KeyError
+            For a node name absent from the solved circuit (the error
+            names the offending node).
+        """
         if node == "0":
             return 0.0
-        return float(self.solution[self.node_names.index(node)])
+        try:
+            idx = self._name_index[node]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {node!r}; circuit nodes are "
+                f"{list(self.node_names)}") from None
+        return float(self.solution[idx])
 
     def voltages(self) -> dict[str, float]:
         """All node voltages as a dict."""
@@ -50,13 +89,23 @@ def _newton_dc(
     max_iter: int = 200,
     v_limit: float = 0.4,
 ) -> np.ndarray | None:
-    """Damped Newton for the resistive network; ``None`` on failure."""
+    """Damped Newton for the resistive network; ``None`` on failure.
+
+    ``extra_gmin`` adds a leak conductance to ground on every node
+    diagonal — the gmin-stepping knob.  MOSFET-free networks are linear,
+    so a single (leaked) solve is *exact*: the early return below stamps
+    the same ``extra_gmin`` the iterative path would, and honours the
+    same ``None``-on-failure contract when the matrix is singular.
+    """
     a_base = mna.g_lin.copy()
     for i in range(mna.n_nodes):
         a_base[i, i] += extra_gmin
     x = x0.copy()
     if mna.n_mosfets == 0:
-        return np.linalg.solve(a_base, rhs_src)
+        try:
+            return np.linalg.solve(a_base, rhs_src)
+        except np.linalg.LinAlgError:
+            return None
     for _ in range(max_iter):
         a = a_base.copy()
         rhs = rhs_src.copy()
@@ -74,6 +123,45 @@ def _newton_dc(
         if worst < abstol:
             return x
     return None
+
+
+def _gmin_stepping(sys_: MnaSystem, rhs: np.ndarray, x0: np.ndarray,
+                   circuit_name: str) -> np.ndarray:
+    """Walk the gmin schedule, solving each stage exactly once.
+
+    Every successful stage warm-starts the next; the final ``gmin = 0``
+    stage's solution is returned directly (no redundant re-solve).  When
+    an intermediate stage fails, one *skip-ahead* solve jumps straight to
+    ``gmin = 0`` from the last successful stage — the remaining
+    relaxation stages are skipped, never retried.  Failures raise
+    :class:`DcConvergenceError` naming the stage that failed.
+    """
+    n_stages = len(GMIN_STAGES)
+    for k, gmin in enumerate(GMIN_STAGES):
+        x = _newton_dc(sys_, gmin, rhs, x0)
+        if x is not None:
+            x0 = x
+            continue
+        stage = f"gmin stage {k + 1}/{n_stages} (gmin={gmin:g})"
+        if k == 0:
+            # No leaked solution exists yet and the plain solve already
+            # failed from this very seed — retrying it would be a no-op.
+            raise DcConvergenceError(
+                f"no DC operating point found for circuit {circuit_name!r}: "
+                f"plain Newton failed and gmin stepping failed at its first "
+                f"{stage}")
+        if gmin == 0.0:
+            raise DcConvergenceError(
+                f"no DC operating point found for circuit {circuit_name!r}: "
+                f"gmin stepping failed at its final {stage}")
+        x = _newton_dc(sys_, 0.0, rhs, x0)
+        if x is None:
+            raise DcConvergenceError(
+                f"no DC operating point found for circuit {circuit_name!r}: "
+                f"gmin stepping failed at {stage} and the direct gmin=0 "
+                f"solve from the last successful stage also failed")
+        return x
+    return x0
 
 
 def dc_operating_point(
@@ -100,30 +188,123 @@ def dc_operating_point(
     Raises
     ------
     DcConvergenceError
-        When Newton fails at every gmin-stepping stage.
+        When Newton fails at every gmin-stepping stage; the message names
+        the stage that failed.
     """
     sys_ = mna or MnaSystem(circuit)
     rhs = sys_.source_rhs(at_time)
-
-    x0 = np.zeros(sys_.size)
-    for node, v in (initial_voltages or {}).items():
-        idx = sys_.index_of(node)
-        if idx >= 0:
-            x0[idx] = v
+    x0 = sys_.seed_vector(initial_voltages)
 
     x = _newton_dc(sys_, 0.0, rhs, x0)
     if x is None:
-        # gmin stepping: solve heavily leaked system first, relax leak.
-        for gmin in (1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 0.0):
-            x = _newton_dc(sys_, gmin, rhs, x0)
-            if x is None:
-                break
-            x0 = x
-        else:
-            x = x0
-        if x is None or _newton_dc(sys_, 0.0, rhs, x0) is None:
-            raise DcConvergenceError(
-                f"no DC operating point found for circuit {circuit.name!r}"
-            )
-        x = _newton_dc(sys_, 0.0, rhs, x0)
+        x = _gmin_stepping(sys_, rhs, x0, circuit.name)
     return DcResult(solution=x, node_names=tuple(sys_.node_names))
+
+
+def _newton_dc_batch(
+    mna: MnaSystem,
+    rhs: np.ndarray,
+    x0: np.ndarray,
+    abstol: float = 1e-9,
+    max_iter: int = 200,
+    v_limit: float = 0.4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked damped Newton over ``B`` variants; ``(x, converged)``.
+
+    :func:`~repro.circuit.mna.stacked_newton` with the scalar
+    :func:`_newton_dc` convergence and damping tests; converged variants
+    are frozen, so each variant reproduces the scalar iteration
+    sequence.  A singular stacked solve marks every still-active variant
+    unconverged (the per-variant scalar fallback owns the diagnosis).
+    """
+    return stacked_newton(mna, mna.g_lin, rhs, x0, abstol=abstol,
+                          max_iter=max_iter, v_limit=v_limit,
+                          catch_singular=True)
+
+
+def dc_operating_point_batch(
+    circuits: Sequence[Circuit],
+    at_time: float = 0.0,
+    initial_voltages: Sequence[Mapping[str, float] | None] | None = None,
+    mnas: Sequence[MnaSystem] | None = None,
+    backend: str = "auto",
+) -> list[DcResult]:
+    """Solve the operating points of ``B`` topology-sharing variants at once.
+
+    The batched replacement for looping :func:`dc_operating_point` over
+    the variants of one circuit (noise-case sweeps, technique fixtures):
+    MOSFET stacks advance through one stacked Newton loop; MOSFET-free
+    stacks collapse to a single structured solve of ``g_lin`` against all
+    right-hand sides, with the linear-solver backend selected from the
+    topology's DC sparsity pattern (shared with the transient engine —
+    see :mod:`repro.circuit.solvers`).
+
+    Parameters
+    ----------
+    circuits:
+        The variants; all must share one topology signature (identical
+        structure — only source *values* may differ).
+    at_time:
+        Time at which time-varying sources are sampled.
+    initial_voltages:
+        Optional per-variant Newton seeds (one mapping or ``None`` per
+        circuit).
+    mnas:
+        Pre-compiled systems, aligned with ``circuits``.
+    backend:
+        Solver backend request (``"auto"``, ``"dense"``, ``"sparse"``,
+        ``"banded"``); used on the MOSFET-free path.
+
+    Returns
+    -------
+    list[DcResult]
+        One operating point per variant, in input order, equivalent to
+        the scalar solves.  Variants the batched pass cannot converge are
+        retried individually through the scalar gmin-stepping path, so
+        failure diagnostics match :func:`dc_operating_point`.
+    """
+    circuits = list(circuits)
+    require(len(circuits) >= 1, "need at least one circuit")
+    systems = list(mnas) if mnas is not None else [MnaSystem(c) for c in circuits]
+    require(len(systems) == len(circuits), "one MnaSystem per circuit")
+    mna0 = systems[0]
+    signature = mna0.topology_signature()
+    require(all(m.topology_signature() == signature for m in systems[1:]),
+            "batched DC requires one shared topology")
+    seeds = list(initial_voltages) if initial_voltages is not None \
+        else [None] * len(circuits)
+    require(len(seeds) == len(circuits), "one seed mapping per circuit")
+
+    batch = len(circuits)
+    rhs = np.stack([m.source_rhs(at_time) for m in systems])
+    x0 = np.zeros((batch, mna0.size))
+    for b, seed in enumerate(seeds):
+        mna0.seed_vector(seed, out=x0[b])
+
+    if mna0.n_mosfets == 0:
+        # Linear network: one structured factorization, B exact solves.
+        structure = mna0.structure(include_caps=False)
+        try:
+            solver = factorize(mna0.g_lin,
+                               select_backend(structure, 0, backend), structure)
+            x = solver.solve(rhs)
+            # A singular matrix raises above; the finiteness guard keeps
+            # any backend that degrades silently on the scalar-fallback
+            # path, whose diagnosis matches dc_operating_point.
+            converged = np.isfinite(x).all(axis=1)
+        except np.linalg.LinAlgError:
+            x = x0
+            converged = np.zeros(batch, dtype=bool)
+    else:
+        x, converged = _newton_dc_batch(mna0, rhs, x0)
+
+    results: list[DcResult] = []
+    node_names = tuple(mna0.node_names)
+    for b in range(batch):
+        if converged[b]:
+            results.append(DcResult(solution=x[b], node_names=node_names))
+        else:
+            results.append(dc_operating_point(
+                circuits[b], at_time=at_time,
+                initial_voltages=dict(seeds[b] or {}), mna=systems[b]))
+    return results

@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections.abc import Mapping
+
 from .._util import require
 from .mosfet import mosfet_eval
 from .netlist import GROUND, Circuit
+from .solvers import MatrixStructure, analyze_pattern
 
-__all__ = ["MnaSystem"]
+__all__ = ["MnaSystem", "stacked_newton"]
 
 #: Conductance to ground added on every node diagonal for matrix robustness.
 DEFAULT_GMIN = 1e-9
@@ -41,7 +44,9 @@ class MnaSystem:
     def __init__(self, circuit: Circuit, gmin: float = DEFAULT_GMIN):
         require(gmin >= 0.0, "gmin must be non-negative")
         self.circuit = circuit
+        self.gmin = gmin
         self._signature: tuple | None = None
+        self._structures: dict[bool, MatrixStructure] = {}
         self.node_names = list(circuit.nodes)
         self.node_index = {name: i for i, name in enumerate(self.node_names)}
         self.n_nodes = len(self.node_names)
@@ -132,6 +137,21 @@ class MnaSystem:
             return -1
         return self.node_index[node]
 
+    def seed_vector(self, initial_voltages: "Mapping[str, float] | None" = None,
+                    out: np.ndarray | None = None) -> np.ndarray:
+        """MNA-sized solution vector with node seeds applied.
+
+        Ground entries are ignored; unknown node names raise ``KeyError``.
+        ``out`` fills an existing vector (e.g. one row of a stacked
+        batch) in place instead of allocating.
+        """
+        x = np.zeros(self.size) if out is None else out
+        for node, v in (initial_voltages or {}).items():
+            idx = self.index_of(node)
+            if idx >= 0:
+                x[idx] = v
+        return x
+
     @staticmethod
     def _stamp_conductance(a: np.ndarray, i: int, j: int, g: float) -> None:
         """Stamp a two-terminal conductance between indices ``i`` and ``j``."""
@@ -175,24 +195,49 @@ class MnaSystem:
             self._cap_incidence = m
         return self._cap_incidence
 
-    def source_rhs_series(self, times: np.ndarray) -> np.ndarray:
-        """Right-hand sides for many time points at once, shape ``(T, size)``.
+    def source_rhs_columns(self) -> np.ndarray:
+        """MNA rows that receive independent-source contributions (sorted).
 
-        Vectorised over the sample times (sources are evaluated with array
-        arguments), so a whole transient's worth of source values costs one
-        NumPy pass per source instead of one Python call per step.
+        The source right-hand side is structurally sparse: only voltage
+        -source branch rows and current-source terminal nodes are ever
+        nonzero.  Storing a transient's source series on these columns
+        alone keeps the precompute O(T · n_sources) instead of
+        O(T · size).
+        """
+        rows = set(range(self.n_nodes, self.size))
+        for ip, im, _ in self._isource_stamps:
+            if ip >= 0:
+                rows.add(ip)
+            if im >= 0:
+                rows.add(im)
+        return np.array(sorted(rows), dtype=int)
+
+    def source_rhs_series_compact(
+        self, times: np.ndarray, cols: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compact source series: ``(columns, values)`` with values
+        shaped ``(T, len(columns))``.
+
+        ``rhs[t][columns] = values[t]`` (all other entries zero)
+        reproduces :meth:`source_rhs` at every sample time — branch rows
+        hold exactly one voltage source each and current sources
+        accumulate in stamp order, so the values are bitwise identical
+        to the dense assembly.
         """
         times = np.asarray(times, dtype=np.float64)
-        rhs = np.zeros((times.size, self.size))
+        if cols is None:
+            cols = self.source_rhs_columns()
+        pos = {int(c): k for k, c in enumerate(cols)}
+        vals = np.zeros((times.size, cols.size))
         for k, fn in enumerate(self._vsource_fns):
-            rhs[:, self.n_nodes + k] = fn(times)
+            vals[:, pos[self.n_nodes + k]] = fn(times)
         for ip, im, fn in self._isource_stamps:
             cur = np.asarray(fn(times), dtype=np.float64)
             if ip >= 0:
-                rhs[:, ip] -= cur
+                vals[:, pos[ip]] -= cur
             if im >= 0:
-                rhs[:, im] += cur
-        return rhs
+                vals[:, pos[im]] += cur
+        return cols, vals
 
     def source_breakpoints(self) -> np.ndarray:
         """Union of all source corner times (sorted, unique)."""
@@ -232,19 +277,66 @@ class MnaSystem:
         source *values* (evaluated per variant) may differ.  Used by
         :func:`~repro.circuit.transient.simulate_transient_many` to group
         compatible jobs.
+
+        The fingerprint is taken from the element lists and node order
+        (which fully determine every compiled matrix, given ``gmin``) —
+        not from the matrices themselves, whose serialisation would cost
+        O(size²) per variant on large interconnect systems.
         """
         if self._signature is None:
+            c = self.circuit
             self._signature = (
                 self.size, self.n_nodes, self.n_branches, self.n_caps,
-                self.n_mosfets,
-                self.g_lin.tobytes(),
-                self.cap_i.tobytes(), self.cap_j.tobytes(), self.cap_c.tobytes(),
-                self.mos_d.tobytes(), self.mos_g.tobytes(), self.mos_s.tobytes(),
-                self.mos_pol.tobytes(), self.mos_beta.tobytes(),
-                self.mos_vth.tobytes(), self.mos_lam.tobytes(),
-                tuple((ip, im) for ip, im, _ in self._isource_stamps),
+                self.n_mosfets, self.gmin,
+                tuple(self.node_names),
+                tuple((r.node_a, r.node_b, r.resistance) for r in c.resistors),
+                tuple((cp.node_a, cp.node_b, cp.capacitance)
+                      for cp in c.capacitors),
+                tuple((v.node_pos, v.node_neg) for v in c.vsources),
+                tuple((i.node_pos, i.node_neg) for i in c.isources),
+                tuple((m.drain, m.gate, m.source, m.params, m.w, m.length)
+                      for m in c.mosfets),
             )
         return self._signature
+
+    def system_pattern(self, include_caps: bool = True) -> np.ndarray:
+        """Boolean nonzero pattern of the assembled system matrix.
+
+        Covers the constant linear stamps (``g_lin``), optionally the
+        capacitor companion-conductance positions (whose *values* depend
+        on the time step, but whose positions are fixed per topology),
+        and the MOSFET Jacobian fill.  This is the input to the solver
+        backend selection in :mod:`repro.circuit.solvers`.
+        """
+        pat = self.g_lin != 0.0
+        if include_caps:
+            for k in range(self.n_caps):
+                i, j = int(self.cap_i[k]), int(self.cap_j[k])
+                if i >= 0:
+                    pat[i, i] = True
+                if j >= 0:
+                    pat[j, j] = True
+                if i >= 0 and j >= 0:
+                    pat[i, j] = True
+                    pat[j, i] = True
+        if self.n_mosfets:
+            pat.reshape(-1)[self._mos_flat] = True
+        return pat
+
+    def structure(self, include_caps: bool = True) -> MatrixStructure:
+        """Sparsity-pattern signature of the system matrix, cached.
+
+        Computed once per topology (RCM reordering included) and shared
+        by every analysis of this system: the transient engine selects
+        its per-step solver from ``structure(include_caps=True)``, the DC
+        solver from ``structure(include_caps=False)`` (capacitors are
+        open in DC).
+        """
+        cached = self._structures.get(include_caps)
+        if cached is None:
+            cached = analyze_pattern(self.system_pattern(include_caps))
+            self._structures[include_caps] = cached
+        return cached
 
     def stamp_mosfets(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
         """Stamp Newton-linearised MOSFETs at operating point ``x``.
@@ -320,3 +412,80 @@ class MnaSystem:
             vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
         )
         return ids
+
+
+def stacked_newton(
+    mna: MnaSystem,
+    a_base: np.ndarray,
+    rhs_base: np.ndarray,
+    x0: np.ndarray,
+    abstol: float,
+    max_iter: int,
+    v_limit: float,
+    require_unlimited: bool = False,
+    catch_singular: bool = False,
+    stats: dict | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Damped Newton over ``B`` stacked operating points; ``(x, converged)``.
+
+    The one stacked-Newton loop shared by the transient and DC batch
+    engines: per iteration the MOSFETs of every *active* variant are
+    stamped onto broadcast copies of ``a_base``/``rhs_base``, solved
+    together, damped to ``v_limit`` per variant, and variants whose worst
+    node-voltage update drops below ``abstol`` are frozen — so each
+    variant reproduces the scalar iteration sequence.
+
+    Parameters
+    ----------
+    a_base, rhs_base:
+        Shared system matrix ``(size, size)`` and per-variant right-hand
+        sides ``(B, size)`` (MOSFET companion terms are stamped on top).
+    x0:
+        Stacked Newton seeds ``(B, size)``.
+    abstol, max_iter, v_limit:
+        Convergence threshold on node-voltage updates, iteration cap and
+        per-iteration update clamp.
+    require_unlimited:
+        Additionally require the accepted update to be unclamped before
+        declaring a variant converged (the transient engine's test; a
+        no-op whenever ``abstol < v_limit``).
+    catch_singular:
+        Return the still-unconverged state on a singular stacked solve
+        (the DC engine's per-variant-fallback contract) instead of
+        propagating :class:`numpy.linalg.LinAlgError`.
+    stats:
+        Optional counter dict whose ``"newton_iters"`` entry is bumped
+        per iteration.
+    """
+    x = x0.copy()
+    m = x.shape[0]
+    n_nodes = mna.n_nodes
+    converged = np.zeros(m, dtype=bool)
+    active = np.arange(m)
+    for _ in range(max_iter):
+        sub = x[active]
+        a = np.broadcast_to(a_base, (active.size, *a_base.shape)).copy()
+        rhs = rhs_base[active].copy()
+        mna.stamp_mosfets_batch(a, rhs, sub)
+        try:
+            x_new = np.linalg.solve(a, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            if catch_singular:
+                return x, converged
+            raise
+        dx = x_new - sub
+        dv = dx[:, :n_nodes]
+        worst = np.max(np.abs(dv), axis=1) if n_nodes else np.zeros(active.size)
+        limited = worst > v_limit
+        scale = np.where(limited, v_limit / np.maximum(worst, 1e-300), 1.0)
+        x[active] = sub + dx * scale[:, None]
+        if stats is not None:
+            stats["newton_iters"] += 1
+        ok = worst < abstol
+        if require_unlimited:
+            ok &= ~limited
+        converged[active[ok]] = True
+        active = active[~ok]
+        if active.size == 0:
+            break
+    return x, converged

@@ -21,11 +21,12 @@ never clipped mid-transition by the noisy waveform's window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as _dc_replace
 
 from .._util import require
 from ..circuit.netlist import Circuit
-from ..circuit.transient import (TransientJob, TransientResult,
-                                 simulate_transient_many)
+from ..circuit.transient import (TransientJob, TransientOptions,
+                                 TransientResult, simulate_transient_many)
 from ..library.cells import InverterCell
 from .ramp import SaturatedRamp
 from .techniques.base import PropagationInputs, Technique, TechniqueError
@@ -79,6 +80,10 @@ class GateFixture:
         Simulation time step.
     settle_margin:
         Extra simulated time after the stimulus ends.
+    solver_backend:
+        Linear-solver backend request for the fixture simulations
+        (``TransientOptions.backend``): ``"auto"``, ``"dense"``,
+        ``"sparse"`` or ``"banded"``.
     """
 
     cell: InverterCell
@@ -86,6 +91,7 @@ class GateFixture:
     extra_load: float = 0.0
     dt: float = 1e-12
     settle_margin: float = 500e-12
+    solver_backend: str = "auto"
 
     def _build(self, stimulus: Waveform) -> tuple[Circuit, dict[str, float]]:
         vdd = self.cell.vdd
@@ -139,7 +145,8 @@ class GateFixture:
 
         circuit, initial = self._build(wave)
         return TransientJob(circuit=circuit, t_stop=t_window[1], dt=self.dt,
-                            t_start=t_window[0], initial_voltages=initial)
+                            t_start=t_window[0], initial_voltages=initial,
+                            options=TransientOptions(backend=self.solver_backend))
 
     def measure(self, result: TransientResult) -> GateOutput:
         """Extract the :class:`GateOutput` measurements from a simulation."""
@@ -226,6 +233,7 @@ def evaluate_techniques(
     techniques: list[Technique],
     golden: GateOutput | None = None,
     batch: bool = True,
+    solver_backend: str | None = None,
 ) -> tuple[GateOutput, dict[str, TechniqueEvaluation]]:
     """Score ``techniques`` on one noisy waveform against the golden gate.
 
@@ -254,12 +262,17 @@ def evaluate_techniques(
     batch:
         ``False`` runs every simulation sequentially (numerically
         equivalent; used by the batching benchmark as the baseline).
+    solver_backend:
+        Overrides the fixture's linear-solver backend request for this
+        evaluation (``None`` keeps ``fixture.solver_backend``).
 
     Returns
     -------
     (golden, results):
         The golden response and a name → evaluation map.
     """
+    if solver_backend is not None and solver_backend != fixture.solver_backend:
+        fixture = _dc_replace(fixture, solver_backend=solver_backend)
     base_window = (inputs.v_in_noisy.t_start,
                    inputs.v_in_noisy.t_end + fixture.settle_margin)
     results: dict[str, TechniqueEvaluation] = {}

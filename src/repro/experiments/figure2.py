@@ -70,17 +70,19 @@ def generate_figure2(
     timing: SweepTiming | None = None,
     n_points: int = 241,
     fixture: GateFixture | None = None,
+    solver_backend: str = "auto",
 ) -> Figure2Data:
     """Produce the Figure 2 series for one noise alignment.
 
     The default offset places the aggressor glitch mid-transition, the
-    situation panel (b) of the paper illustrates.
+    situation panel (b) of the paper illustrates.  ``solver_backend``
+    is the linear-solver backend request forwarded to every simulation.
     """
     timing = timing or SweepTiming()
     # The noiseless reference and the noise case share a topology: one batch.
     ref, cases = run_noise_cases(
         config, [tuple(offset for _ in range(config.n_aggressors))],
-        timing, include_noiseless=True)
+        timing, include_noiseless=True, solver_backend=solver_backend)
     case = cases[0]
     inputs = PropagationInputs(
         v_in_noisy=case.v_in_noisy, vdd=config.vdd,
@@ -89,7 +91,8 @@ def generate_figure2(
     sens = inputs.sensitivity()
     sgdp = Sgdp()
     gamma = sgdp.equivalent_waveform(inputs)
-    fixture = fixture or receiver_fixture(config, dt=timing.dt)
+    fixture = fixture or receiver_fixture(config, dt=timing.dt,
+                                          solver_backend=solver_backend)
     eff_out = fixture.response(
         gamma, t_window=(case.v_in_noisy.t_start,
                          case.v_in_noisy.t_end + fixture.settle_margin))

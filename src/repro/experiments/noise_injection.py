@@ -22,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import require
-from ..circuit.transient import TransientJob, simulate_transient, simulate_transient_many
+from ..circuit.transient import (TransientJob, TransientOptions,
+                                 simulate_transient, simulate_transient_many)
 from ..core.waveform import Waveform
 from .setup import CrosstalkConfig, Testbench, build_testbench
 
@@ -105,23 +106,25 @@ def alignment_offsets(n_cases: int, window: float = 1.0e-9) -> np.ndarray:
     return np.linspace(-window / 2.0, window / 2.0, n_cases)
 
 
-def _simulate(bench: Testbench, timing: SweepTiming):
+def _simulate(bench: Testbench, timing: SweepTiming,
+              solver_backend: str = "auto"):
     return simulate_transient(
         bench.circuit,
         t_stop=timing.t_stop,
         dt=timing.dt,
         initial_voltages=bench.initial_voltages,
+        options=TransientOptions(backend=solver_backend),
     )
 
 
-def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None
-                  ) -> NoiselessReference:
+def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None,
+                  solver_backend: str = "auto") -> NoiselessReference:
     """Simulate the testbench with quiet aggressors."""
     timing = timing or SweepTiming()
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=[timing.victim_start] * config.n_aggressors,
                             aggressor_active=False)
-    result = _simulate(bench, timing)
+    result = _simulate(bench, timing, solver_backend)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiselessReference(
@@ -131,20 +134,23 @@ def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None
 
 
 def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
-                   timing: SweepTiming | None = None) -> NoiseCase:
+                   timing: SweepTiming | None = None,
+                   solver_backend: str = "auto") -> NoiseCase:
     """Simulate one aggressor alignment.
 
     Parameters
     ----------
     offsets:
         Per-aggressor start-time offset relative to the victim start.
+    solver_backend:
+        Linear-solver backend request (``TransientOptions.backend``).
     """
     timing = timing or SweepTiming()
     require(len(offsets) == config.n_aggressors, "one offset per aggressor")
     starts = [timing.victim_start + off for off in offsets]
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=starts, aggressor_active=True)
-    result = _simulate(bench, timing)
+    result = _simulate(bench, timing, solver_backend)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiseCase(
@@ -155,9 +161,11 @@ def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
     )
 
 
-def _bench_job(bench: Testbench, timing: SweepTiming) -> TransientJob:
+def _bench_job(bench: Testbench, timing: SweepTiming,
+               solver_backend: str = "auto") -> TransientJob:
     return TransientJob(bench.circuit, t_stop=timing.t_stop, dt=timing.dt,
-                        initial_voltages=bench.initial_voltages)
+                        initial_voltages=bench.initial_voltages,
+                        options=TransientOptions(backend=solver_backend))
 
 
 def _case_from(bench: Testbench, result, config: CrosstalkConfig,
@@ -178,6 +186,7 @@ def run_noise_cases(
     timing: SweepTiming | None = None,
     include_noiseless: bool = False,
     batch: bool = True,
+    solver_backend: str = "auto",
 ) -> tuple[NoiselessReference | None, list[NoiseCase]]:
     """Simulate many aggressor alignments through the batched engine.
 
@@ -200,6 +209,9 @@ def run_noise_cases(
     batch:
         ``False`` falls back to sequential per-case simulation
         (numerically equivalent; the benchmark's baseline).
+    solver_backend:
+        Linear-solver backend request (``TransientOptions.backend``)
+        applied to every simulation of the sweep.
 
     Returns
     -------
@@ -209,8 +221,10 @@ def run_noise_cases(
     """
     timing = timing or SweepTiming()
     if not batch:
-        ref = run_noiseless(config, timing) if include_noiseless else None
-        return ref, [run_noise_case(config, offs, timing) for offs in offsets_list]
+        ref = run_noiseless(config, timing, solver_backend) \
+            if include_noiseless else None
+        return ref, [run_noise_case(config, offs, timing, solver_backend)
+                     for offs in offsets_list]
 
     benches: list[Testbench] = []
     if include_noiseless:
@@ -225,7 +239,8 @@ def run_noise_cases(
                                        aggressor_starts=starts,
                                        aggressor_active=True))
 
-    results = simulate_transient_many([_bench_job(b, timing) for b in benches])
+    results = simulate_transient_many(
+        [_bench_job(b, timing, solver_backend) for b in benches])
 
     ref: NoiselessReference | None = None
     cursor = 0

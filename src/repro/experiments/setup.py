@@ -256,11 +256,13 @@ def build_testbench(
     return Testbench(circuit=circuit, nodes=nodes, initial_voltages=initial)
 
 
-def receiver_fixture(config: CrosstalkConfig, dt: float = 1e-12) -> GateFixture:
+def receiver_fixture(config: CrosstalkConfig, dt: float = 1e-12,
+                     solver_backend: str = "auto") -> GateFixture:
     """The victim receiver with its Figure 1 fanout chain, as a forced-input
     fixture for technique evaluation."""
     return GateFixture(
         cell=config.receiver_cell(),
         chain=config.chain_cells(),
         dt=dt,
+        solver_backend=solver_backend,
     )

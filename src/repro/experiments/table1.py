@@ -121,6 +121,7 @@ def run_table1(
     noiseless: NoiselessReference | None = None,
     progress: bool = False,
     batch: bool = True,
+    solver_backend: str = "auto",
 ) -> Table1Result:
     """Run the Table 1 sweep for one configuration.
 
@@ -149,6 +150,10 @@ def run_table1(
         re-simulations through the batched transient engine (default).
         ``False`` reproduces the sequential per-simulation path —
         numerically equivalent, used as the benchmark baseline.
+    solver_backend:
+        Linear-solver backend request (``TransientOptions.backend``)
+        applied to every simulation of the sweep — the coupled-circuit
+        noise cases and the fixture re-simulations alike.
 
     Returns
     -------
@@ -167,7 +172,8 @@ def run_table1(
         plans = [(polarity, polarity == "opposing")]
         counts = [n_total]
 
-    fixture = receiver_fixture(config, dt=timing.dt)
+    fixture = receiver_fixture(config, dt=timing.dt,
+                               solver_backend=solver_backend)
     delay_errors: dict[str, list[float | None]] = {t.name: [] for t in techs}
     arrival_errors: dict[str, list[float | None]] = {t.name: [] for t in techs}
 
@@ -177,7 +183,8 @@ def run_table1(
                         for base in alignment_offsets(n_here, timing.window)]
         ref, cases = run_noise_cases(cfg, offsets_list, timing,
                                      include_noiseless=noiseless is None,
-                                     batch=batch)
+                                     batch=batch,
+                                     solver_backend=solver_backend)
         ref = noiseless if noiseless is not None else ref
         for case in cases:
             inputs = PropagationInputs(

@@ -8,6 +8,14 @@ internal junction carries the capacitance of two adjacent half-cells.
 
 Per-µm parasitics for a 0.13 µm-class wide metal line are provided so
 Config II's 500 µm lines scale consistently from the same process numbers.
+
+Junction nodes are emitted in line order (near end → far end), so the MNA
+matrix of a pure line — voltage-source border rows included — permutes to
+*tridiagonal* form under reverse Cuthill–McKee, and a coupled bundle of k
+lines to block-tridiagonal form.  The transient/DC solver backends exploit
+exactly this: line-dominated topologies select the banded Thomas-style
+solve instead of dense LU (see :mod:`repro.circuit.solvers`), which lifts
+the practical segment-count ceiling far past the 3-π-cell Figure 1 scale.
 """
 
 from __future__ import annotations

@@ -54,7 +54,8 @@ from dataclasses import dataclass, field
 from .._util import require
 from ..circuit.netlist import Circuit
 from ..circuit.sources import RampSource
-from ..circuit.transient import TransientJob, simulate_transient, simulate_transient_many
+from ..circuit.transient import (TransientJob, TransientOptions,
+                                 simulate_transient, simulate_transient_many)
 from ..core.ramp import SaturatedRamp
 from ..core.techniques import PropagationInputs, Technique
 from ..core.techniques.sgdp import Sgdp
@@ -275,6 +276,7 @@ def propagate_path(
     full_waveform: bool = False,
     slew_fallback: float | None = 100e-12,
     quiet_cache: QuietReferenceCache | None = None,
+    solver_backend: str = "auto",
 ) -> list[StageTiming]:
     """Propagate timing through a chain of (possibly coupled) stages.
 
@@ -304,6 +306,11 @@ def propagate_path(
         instance, so repeated propagation over the same stage
         configuration and stimulus simulates the noiseless reference
         exactly once.
+    solver_backend:
+        Linear-solver backend request for the stage simulations
+        (``TransientOptions.backend``); every backend produces
+        equivalent waveforms, so cached quiet references remain valid
+        across backend choices.
 
     Returns
     -------
@@ -312,6 +319,7 @@ def propagate_path(
     """
     require(len(stages) >= 1, "need at least one stage")
     tech = technique or Sgdp()
+    sim_opts = TransientOptions(backend=solver_backend)
     cache = quiet_cache if quiet_cache is not None else _QUIET_CACHE
     results: list[StageTiming] = []
     stimulus: "Waveform | SaturatedRamp" = input_ramp
@@ -337,7 +345,8 @@ def propagate_path(
         circuit.vsource("Vin", "in", "0", wave_in)
         initial = _stage_initial(stage, vdd, wave_in.v_initial)
         jobs = [TransientJob(circuit, t_stop=t1, dt=dt,
-                             t_start=wave_in.t_start, initial_voltages=initial)]
+                             t_start=wave_in.t_start, initial_voltages=initial,
+                             options=sim_opts)]
 
         # Noiseless reference for the receiver: same stage, quiet
         # aggressors — memoised per (stage config, stimulus, window, dt).
@@ -351,7 +360,8 @@ def propagate_path(
             qc.vsource("Vin", "in", "0", wave_in)
             jobs.append(TransientJob(
                 qc, t_stop=t1, dt=dt, t_start=wave_in.t_start,
-                initial_voltages=_stage_initial(quiet, vdd, wave_in.v_initial)))
+                initial_voltages=_stage_initial(quiet, vdd, wave_in.v_initial),
+                options=sim_opts))
 
         # Aggressor-free stages share a topology with their quiet
         # reference, so this advances both through one stacked solve.
@@ -400,7 +410,8 @@ def propagate_path(
                        "out": vdd - gamma_wave.v_initial}
             re_sim = simulate_transient(re_c, t_stop=gamma_wave.t_end, dt=dt,
                                         t_start=gamma_wave.t_start,
-                                        initial_voltages=re_init)
+                                        initial_voltages=re_init,
+                                        options=sim_opts)
             re_v_out = re_sim.waveform("out")
             arr = re_v_out.arrival_time(vdd, which="last")
             try:
