@@ -8,6 +8,13 @@ Run (quick):
     python examples/table1_accuracy.py --cases 10
 Paper density (slow — a few hours):
     python examples/table1_accuracy.py --cases 200
+Scale across cores and make reruns near-free:
+    python examples/table1_accuracy.py --cases 50 --workers 4 --store /tmp/repro-store
+    python examples/table1_accuracy.py --cases 50 --workers 4 --store /tmp/repro-store
+The second invocation answers from the content-keyed result store —
+zero transient solves — and prints the store's hit statistics.  The
+``REPRO_WORKERS`` / ``REPRO_STORE`` environment variables set the same
+knobs without flags.
 """
 
 from __future__ import annotations
@@ -15,9 +22,11 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.exec import (ExecutionConfig, ResultStore, default_execution,
+                        store_max_bytes)
 from repro.experiments.noise_injection import SweepTiming
 from repro.experiments.setup import CONFIG_I, CONFIG_II
-from repro.experiments.table1 import run_table1
+from repro.experiments.table1 import run_table1_many
 
 
 def main() -> None:
@@ -29,19 +38,44 @@ def main() -> None:
     parser.add_argument("--polarity", choices=("both", "opposing", "same"),
                         default="both", help="aggressor transition directions")
     parser.add_argument("--config", choices=("I", "II", "both"), default="both")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the sweep over N worker processes "
+                             "(default: REPRO_WORKERS or 1)")
+    parser.add_argument("--store", type=str, default=None,
+                        help="directory of the on-disk result store; rerun "
+                             "with the same arguments for a warm, near-free "
+                             "regeneration (default: REPRO_STORE or off)")
     args = parser.parse_args()
+
+    env = default_execution()
+    execution = ExecutionConfig(
+        workers=args.workers if args.workers is not None else env.workers,
+        store=ResultStore(args.store, max_bytes=store_max_bytes())
+        if args.store else env.store,
+    )
 
     timing = SweepTiming(dt=args.dt)
     configs = {"I": [CONFIG_I], "II": [CONFIG_II],
                "both": [CONFIG_I, CONFIG_II]}[args.config]
 
-    for config in configs:
-        start = time.time()
-        result = run_table1(config, n_cases=args.cases, timing=timing,
-                            polarity=args.polarity, progress=True)
+    # All configurations and polarities go through the execution layer as
+    # one sharded (and store-backed) submission.
+    start = time.time()
+    results = run_table1_many(configs, n_cases=args.cases, timing=timing,
+                              polarity=args.polarity, progress=True,
+                              execution=execution)
+    elapsed = time.time() - start
+    for result in results:
         print()
         print(result.format())
-        print(f"(elapsed {time.time() - start:.0f} s)\n")
+    print(f"\n(elapsed {elapsed:.1f} s, workers={execution.workers})")
+    if execution.store is not None:
+        s = execution.store.stats()
+        print(f"result store {s['root']}: {s['hits']} hits, "
+              f"{s['misses']} misses, {s['entries']} entries "
+              f"({s['bytes'] / 1e6:.1f} MB)"
+              + ("  — warm rerun, nothing re-simulated" if s["misses"] == 0
+                 else ""))
 
 
 if __name__ == "__main__":

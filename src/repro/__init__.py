@@ -16,7 +16,10 @@ substrate it depends on, all from scratch:
 * :mod:`repro.sta` — a gate-level STA engine with a noise-aware
   equivalent-waveform propagation mode;
 * :mod:`repro.experiments` — the Figure 1 testbench and one harness per
-  paper artifact (Table 1, §4.2 run-times, Figure 2) plus ablations.
+  paper artifact (Table 1, §4.2 run-times, Figure 2) plus ablations;
+* :mod:`repro.exec` — the execution layer: process-pool sharding of
+  independent simulations and a content-keyed on-disk result store
+  (``REPRO_WORKERS`` / ``REPRO_STORE`` knobs).
 
 Quickstart::
 
@@ -25,8 +28,9 @@ Quickstart::
 """
 
 from . import circuit, core, experiments, interconnect, library, sta
+from . import exec as exec_  # "exec" shadows nothing but reads awkwardly bare
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["core", "circuit", "interconnect", "library", "sta", "experiments",
-           "__version__"]
+           "exec_", "__version__"]

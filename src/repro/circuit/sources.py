@@ -33,6 +33,19 @@ class SourceFunction:
         """Scalar evaluation helper."""
         return float(self(t))
 
+    def content_fingerprint(self) -> tuple:
+        """Canonical content of this stimulus, for result-store keying.
+
+        Two sources with equal fingerprints produce identical values at
+        *every* time (not just on some sample grid), so a fingerprint
+        participates in the content key of
+        :mod:`repro.exec.store`.  Sources that cannot make that
+        guarantee must leave this unimplemented — the store then treats
+        the job as uncacheable instead of mis-keying it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__qualname__} has no canonical content fingerprint")
+
 
 class Dc(SourceFunction):
     """A constant source."""
@@ -44,6 +57,9 @@ class Dc(SourceFunction):
         if np.isscalar(t):
             return self.value
         return np.full_like(np.asarray(t, dtype=np.float64), self.value)
+
+    def content_fingerprint(self) -> tuple:
+        return ("dc", self.value)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Dc({self.value})"
@@ -77,6 +93,11 @@ class Pwl(SourceFunction):
     def points(self) -> list[tuple[float, float]]:
         """The defining corners as ``(time, value)`` pairs."""
         return list(zip(self._t.tolist(), self._v.tolist()))
+
+    def content_fingerprint(self) -> tuple:
+        # The corners fully define the curve (and hence every subclass:
+        # RampSource and PulseSource are constructor sugar over corners).
+        return ("pwl", self._t, self._v)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Pwl({len(self._t)} points)"
@@ -129,6 +150,9 @@ class WaveformSource(SourceFunction):
     def breakpoints(self) -> tuple[float, ...]:
         # Every sample is a potential corner of the piecewise-linear curve.
         return tuple(self.waveform.times.tolist())
+
+    def content_fingerprint(self) -> tuple:
+        return ("waveform", self.waveform.times, self.waveform.values)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"WaveformSource({self.waveform!r})"

@@ -99,6 +99,7 @@ __all__ = [
     "BatchStimulus",
     "simulate_transient_batch",
     "simulate_transient_many",
+    "job_group_key",
 ]
 
 
@@ -714,7 +715,22 @@ def _simulate_group(jobs: Sequence[TransientJob],
     ]
 
 
-def simulate_transient_many(jobs: Sequence[TransientJob]) -> list[TransientResult]:
+def job_group_key(job: TransientJob, mna: MnaSystem) -> tuple:
+    """Batch-compatibility key of a job: equal keys may share one stacked
+    Newton loop.
+
+    Shared by :func:`simulate_transient_many` (in-process grouping) and
+    the shard scheduler of :mod:`repro.exec.pool` (process-level
+    partitioning), so both layers agree on what "compatible" means.
+    """
+    return (mna.topology_signature(), job.t_start, job.dt, job.use_ic,
+            job.options or TransientOptions())
+
+
+def simulate_transient_many(
+    jobs: Sequence[TransientJob],
+    mnas: "Sequence[MnaSystem] | None" = None,
+) -> list[TransientResult]:
     """Simulate many independent jobs, batching compatible ones.
 
     Jobs are grouped by circuit topology
@@ -723,14 +739,21 @@ def simulate_transient_many(jobs: Sequence[TransientJob]) -> list[TransientResul
     stacked batched engine; singleton groups use the scalar path.  Results
     come back in input order and are numerically equivalent to calling
     :func:`simulate_transient` per job.
+
+    ``mnas`` optionally supplies the jobs' pre-compiled systems (one per
+    job, in order) so callers that already compiled them for their own
+    bookkeeping — the execution layer keys its result store off them —
+    don't pay the compilation twice.
     """
     jobs = list(jobs)
-    mnas = [MnaSystem(job.circuit) for job in jobs]
+    if mnas is None:
+        mnas = [MnaSystem(job.circuit) for job in jobs]
+    else:
+        mnas = list(mnas)
+        require(len(mnas) == len(jobs), "one pre-compiled system per job")
     groups: dict[tuple, list[int]] = {}
     for k, (job, mna) in enumerate(zip(jobs, mnas)):
-        key = (mna.topology_signature(), job.t_start, job.dt, job.use_ic,
-               job.options or TransientOptions())
-        groups.setdefault(key, []).append(k)
+        groups.setdefault(job_group_key(job, mna), []).append(k)
 
     results: list[TransientResult | None] = [None] * len(jobs)
     for idxs in groups.values():

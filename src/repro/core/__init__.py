@@ -16,6 +16,9 @@ __all__ = [
     "GateFixture",
     "GateOutput",
     "TechniqueEvaluation",
+    "EvaluationPlan",
+    "prepare_evaluation",
+    "finish_evaluation",
     "evaluate_techniques",
     "ErrorStats",
     "error_stats",
@@ -23,7 +26,8 @@ __all__ = [
 ]
 
 _PROPAGATION_NAMES = {"GateFixture", "GateOutput", "TechniqueEvaluation",
-                      "evaluate_techniques"}
+                      "EvaluationPlan", "prepare_evaluation",
+                      "finish_evaluation", "evaluate_techniques"}
 
 
 def __getattr__(name: str):

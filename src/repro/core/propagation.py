@@ -20,6 +20,7 @@ never clipped mid-transition by the noisy waveform's window.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from dataclasses import replace as _dc_replace
 
@@ -32,7 +33,15 @@ from .ramp import SaturatedRamp
 from .techniques.base import PropagationInputs, Technique, TechniqueError
 from .waveform import Waveform
 
-__all__ = ["GateFixture", "GateOutput", "TechniqueEvaluation", "evaluate_techniques"]
+__all__ = ["GateFixture", "GateOutput", "TechniqueEvaluation",
+           "EvaluationPlan", "prepare_evaluation", "finish_evaluation",
+           "evaluate_techniques"]
+
+#: Anything that maps a job list to its results in order — the sequential
+#: engine by default; :func:`repro.exec.run_jobs` to add sharding and the
+#: result store.  Kept as an injection point so :mod:`repro.core` stays
+#: free of execution-layer imports.
+JobRunner = Callable[[list[TransientJob]], "list[TransientResult]"]
 
 
 @dataclass(frozen=True)
@@ -227,6 +236,112 @@ class TechniqueEvaluation:
     failed: str | None = None
 
 
+@dataclass
+class EvaluationPlan:
+    """The prepared (but not yet simulated) half of a technique evaluation.
+
+    :func:`prepare_evaluation` builds every simulation job one scoring
+    needs — the golden run (unless supplied) plus one re-simulation per
+    applicable technique — without running anything.  Callers that score
+    many noisy waveforms (e.g. the Table 1 sweep) concatenate the
+    ``jobs`` of all their plans into one submission to the execution
+    layer, then hand each plan its slice of the results via
+    :func:`finish_evaluation`; ``evaluate_techniques`` is the
+    one-evaluation convenience wrapper around the same pair.
+    """
+
+    fixture: GateFixture
+    inputs: PropagationInputs
+    jobs: list[TransientJob]
+    evaluable: list[tuple[Technique, SaturatedRamp]]
+    failed: dict[str, TechniqueEvaluation]
+    golden: GateOutput | None
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of simulation results :func:`finish_evaluation` expects."""
+        return len(self.jobs)
+
+
+def prepare_evaluation(
+    fixture: GateFixture,
+    inputs: PropagationInputs,
+    techniques: list[Technique],
+    golden: GateOutput | None = None,
+) -> EvaluationPlan:
+    """Build the simulation jobs of one technique evaluation.
+
+    Techniques whose equivalent-waveform construction fails are recorded
+    as failures immediately; the rest contribute one fixture job each,
+    after the golden job (present only when ``golden`` is omitted).
+    """
+    base_window = (inputs.v_in_noisy.t_start,
+                   inputs.v_in_noisy.t_end + fixture.settle_margin)
+    failed: dict[str, TechniqueEvaluation] = {}
+    evaluable: list[tuple[Technique, SaturatedRamp]] = []
+    jobs: list[TransientJob] = []
+    if golden is None:
+        jobs.append(fixture.transient_job(
+            inputs.v_in_noisy, (inputs.v_in_noisy.t_start, base_window[1])))
+    for tech in techniques:
+        try:
+            ramp = tech.equivalent_waveform(inputs)
+            # Cover the technique's own ramp on both sides: an early ramp
+            # would otherwise be sampled from mid-transition, a late one
+            # clipped before it completes.
+            window = (min(base_window[0], ramp.t_begin - 100e-12),
+                      max(base_window[1], ramp.t_finish + fixture.settle_margin))
+            job = fixture.transient_job(ramp, window)
+        except (TechniqueError, ValueError) as exc:
+            failed[tech.name] = TechniqueEvaluation(
+                technique=tech.name, ramp=None, output=None,
+                arrival_error=None, delay_error=None, failed=str(exc),
+            )
+            continue
+        evaluable.append((tech, ramp))
+        jobs.append(job)
+    return EvaluationPlan(fixture=fixture, inputs=inputs, jobs=jobs,
+                          evaluable=evaluable, failed=failed, golden=golden)
+
+
+def finish_evaluation(
+    plan: EvaluationPlan,
+    sims: list[TransientResult],
+) -> tuple[GateOutput, dict[str, TechniqueEvaluation]]:
+    """Score a prepared evaluation from its simulation results.
+
+    ``sims`` must hold one result per ``plan.jobs`` entry, in order.
+    """
+    require(len(sims) == len(plan.jobs),
+            f"evaluation plan expects {len(plan.jobs)} results, got {len(sims)}")
+    fixture = plan.fixture
+    golden = plan.golden
+    results = dict(plan.failed)
+    cursor = 0
+    if golden is None:
+        golden = fixture.measure(sims[0])
+        cursor = 1
+    for tech, ramp in plan.evaluable:
+        sim = sims[cursor]
+        cursor += 1
+        try:
+            out = fixture.measure(sim)
+        except ValueError as exc:
+            results[tech.name] = TechniqueEvaluation(
+                technique=tech.name, ramp=None, output=None,
+                arrival_error=None, delay_error=None, failed=str(exc),
+            )
+            continue
+        results[tech.name] = TechniqueEvaluation(
+            technique=tech.name,
+            ramp=ramp,
+            output=out,
+            arrival_error=out.output_arrival - golden.output_arrival,
+            delay_error=out.gate_delay - golden.gate_delay,
+        )
+    return golden, results
+
+
 def evaluate_techniques(
     fixture: GateFixture,
     inputs: PropagationInputs,
@@ -234,6 +349,7 @@ def evaluate_techniques(
     golden: GateOutput | None = None,
     batch: bool = True,
     solver_backend: str | None = None,
+    runner: JobRunner | None = None,
 ) -> tuple[GateOutput, dict[str, TechniqueEvaluation]]:
     """Score ``techniques`` on one noisy waveform against the golden gate.
 
@@ -265,62 +381,25 @@ def evaluate_techniques(
     solver_backend:
         Overrides the fixture's linear-solver backend request for this
         evaluation (``None`` keeps ``fixture.solver_backend``).
+    runner:
+        Executes the batched job list; defaults to
+        :func:`~repro.circuit.transient.simulate_transient_many`.  Pass
+        :func:`repro.exec.run_jobs` (or a closure over it) to shard the
+        simulations and/or consult the result store.
 
     Returns
     -------
     (golden, results):
         The golden response and a name → evaluation map.
     """
+    require(runner is None or batch,
+            "runner only applies to the batched path; batch=False is the "
+            "strictly sequential baseline and would silently ignore it")
     if solver_backend is not None and solver_backend != fixture.solver_backend:
         fixture = _dc_replace(fixture, solver_backend=solver_backend)
-    base_window = (inputs.v_in_noisy.t_start,
-                   inputs.v_in_noisy.t_end + fixture.settle_margin)
-    results: dict[str, TechniqueEvaluation] = {}
-
-    evaluable: list[tuple[Technique, SaturatedRamp]] = []
-    jobs = []
-    if golden is None:
-        jobs.append(fixture.transient_job(
-            inputs.v_in_noisy, (inputs.v_in_noisy.t_start, base_window[1])))
-    for tech in techniques:
-        try:
-            ramp = tech.equivalent_waveform(inputs)
-            # Cover the technique's own ramp on both sides: an early ramp
-            # would otherwise be sampled from mid-transition, a late one
-            # clipped before it completes.
-            window = (min(base_window[0], ramp.t_begin - 100e-12),
-                      max(base_window[1], ramp.t_finish + fixture.settle_margin))
-            job = fixture.transient_job(ramp, window)
-        except (TechniqueError, ValueError) as exc:
-            results[tech.name] = TechniqueEvaluation(
-                technique=tech.name, ramp=None, output=None,
-                arrival_error=None, delay_error=None, failed=str(exc),
-            )
-            continue
-        evaluable.append((tech, ramp))
-        jobs.append(job)
-    sims = simulate_transient_many(jobs) if batch else [j.run() for j in jobs]
-
-    cursor = 0
-    if golden is None:
-        golden = fixture.measure(sims[0])
-        cursor = 1
-    for tech, ramp in evaluable:
-        sim = sims[cursor]
-        cursor += 1
-        try:
-            out = fixture.measure(sim)
-        except ValueError as exc:
-            results[tech.name] = TechniqueEvaluation(
-                technique=tech.name, ramp=None, output=None,
-                arrival_error=None, delay_error=None, failed=str(exc),
-            )
-            continue
-        results[tech.name] = TechniqueEvaluation(
-            technique=tech.name,
-            ramp=ramp,
-            output=out,
-            arrival_error=out.output_arrival - golden.output_arrival,
-            delay_error=out.gate_delay - golden.gate_delay,
-        )
-    return golden, results
+    plan = prepare_evaluation(fixture, inputs, techniques, golden=golden)
+    if batch:
+        sims = (runner or simulate_transient_many)(plan.jobs)
+    else:
+        sims = [j.run() for j in plan.jobs]
+    return finish_evaluation(plan, sims)

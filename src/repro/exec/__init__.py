@@ -1,0 +1,36 @@
+"""Execution layer: process-level sharding and cross-run memoisation.
+
+The third scaling layer of this reproduction, on top of the in-process
+batched engine (PR 1) and the structured solver backends (PR 2):
+
+* :mod:`repro.exec.pool` — :func:`run_jobs`, a drop-in front end for
+  :func:`~repro.circuit.transient.simulate_transient_many` that shards
+  independent jobs over a process pool and merges results in submission
+  order (deterministic serial fallback when ``workers=1`` or the pool is
+  unavailable);
+* :mod:`repro.exec.store` — :class:`ResultStore`, a content-keyed
+  on-disk memo of transient results (topology signature + source
+  fingerprints + grid + options, versioned) that makes repeat experiment
+  runs near-free;
+* :mod:`repro.exec.config` — :class:`ExecutionConfig`, the single object
+  the experiment drivers thread both layers through, with
+  ``REPRO_WORKERS`` / ``REPRO_STORE`` environment defaults.
+"""
+
+from .config import (ExecutionConfig, default_execution,
+                     set_default_execution, store_max_bytes)
+from .pool import make_shards, run_jobs
+from .store import STORE_VERSION, ResultStore, UnkeyableJobError, job_key
+
+__all__ = [
+    "ExecutionConfig",
+    "default_execution",
+    "set_default_execution",
+    "store_max_bytes",
+    "run_jobs",
+    "make_shards",
+    "ResultStore",
+    "job_key",
+    "UnkeyableJobError",
+    "STORE_VERSION",
+]

@@ -1,0 +1,113 @@
+"""Execution configuration: worker count and result-store wiring.
+
+One :class:`ExecutionConfig` travels through every experiment driver
+(``run_noise_cases``, ``run_table1``, ``generate_figure2``, the
+ablations, ``propagate_path``), so a single object decides how *all*
+simulations of a run execute — in-process, sharded over a pool, and/or
+memoised through the on-disk store.
+
+Environment knobs (read once, by :func:`default_execution`):
+
+``REPRO_WORKERS``
+    Process count for the shard scheduler (default 1 = in-process).
+``REPRO_STORE``
+    Directory of the content-keyed result store; unset disables it.
+``REPRO_STORE_MAX_BYTES``
+    Size budget of that store (default 512 MiB).
+
+Tests and programs that need a different default (e.g. a temporary
+store) install one with :func:`set_default_execution` instead of
+mutating the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .._util import require
+from .store import DEFAULT_MAX_BYTES, ResultStore
+
+__all__ = ["ExecutionConfig", "default_execution", "set_default_execution",
+           "store_max_bytes"]
+
+
+def store_max_bytes(env: "os._Environ | dict" = os.environ) -> int:
+    """The store size budget the environment asks for (bytes).
+
+    Malformed *and* non-positive values fall back to the default —
+    ``REPRO_STORE_MAX_BYTES=0`` must not crash every subsequent run
+    (unset ``REPRO_STORE`` to disable the store).
+    """
+    try:
+        value = int(env.get("REPRO_STORE_MAX_BYTES", DEFAULT_MAX_BYTES))
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+    return value if value > 0 else DEFAULT_MAX_BYTES
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the execution layer runs a list of transient jobs.
+
+    Attributes
+    ----------
+    workers:
+        Worker processes for the shard scheduler.  ``1`` (default) keeps
+        everything in-process — the deterministic serial path the
+        sharded path must agree with.
+    store:
+        Content-keyed on-disk result store consulted before, and
+        populated after, every simulation; ``None`` disables
+        memoisation.
+    min_pool_jobs:
+        Smallest pending-job count worth forking a pool for.  Tiny
+        submissions (a propagate_path stage's 2 jobs, a single Figure 2
+        re-simulation) solve in milliseconds — pool creation plus
+        pickling would dwarf them — so they run inline even when
+        ``workers > 1``.
+    """
+
+    workers: int = 1
+    store: ResultStore | None = None
+    min_pool_jobs: int = 4
+
+    def __post_init__(self) -> None:
+        require(self.workers >= 1, "workers must be at least 1")
+        require(self.min_pool_jobs >= 2, "min_pool_jobs must be at least 2")
+
+    @classmethod
+    def from_env(cls, env: "os._Environ | dict" = os.environ) -> "ExecutionConfig":
+        """Build the configuration the environment asks for."""
+        try:
+            workers = int(env.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+        store = None
+        root = env.get("REPRO_STORE", "")
+        if root:
+            store = ResultStore(root, max_bytes=store_max_bytes(env))
+        return cls(workers=max(1, workers), store=store)
+
+
+_DEFAULT: ExecutionConfig | None = None
+
+
+def default_execution() -> ExecutionConfig:
+    """The process-wide default configuration (environment, read once)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExecutionConfig.from_env()
+    return _DEFAULT
+
+
+def set_default_execution(config: ExecutionConfig | None) -> ExecutionConfig | None:
+    """Install a new process-wide default; returns the previous one.
+
+    ``None`` resets to "unset": the next :func:`default_execution` call
+    re-reads the environment.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous

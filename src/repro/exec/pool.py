@@ -1,0 +1,229 @@
+"""Process-pool shard scheduler for independent transient jobs.
+
+:func:`simulate_transient_many` amortises the per-step Python cost of
+topology-sharing jobs inside one process; the experiments' workloads
+(Table 1 sweeps, Figure 2, ablations) are additionally *embarrassingly
+parallel across processes*.  :func:`run_jobs` is the execution front end
+that combines the three scaling layers of this repo:
+
+1. **Store** — every job is first looked up in the
+   :class:`~repro.exec.store.ResultStore` (when the
+   :class:`~repro.exec.ExecutionConfig` carries one); hits skip
+   simulation entirely and warm experiment re-runs perform zero
+   transient solves.
+2. **Shards** — the remaining jobs are partitioned into per-worker
+   shards along :func:`~repro.circuit.transient.job_group_key`
+   boundaries (so in-worker batching stays intact), large groups are
+   split across workers, and each shard runs
+   ``simulate_transient_many`` in a forked worker process.
+3. **Batch** — inside every worker the PR-1/PR-2 batched engines do
+   their usual stacked-Newton / structured-solve work.
+
+Determinism and fallback
+------------------------
+Shard assignment is a pure function of the job list and worker count,
+and results are merged back in submission order, so a sharded run
+returns the same list (within the batched-vs-scalar engine tolerance,
+<1e-9 V) as the serial path.  ``workers=1``, tiny job lists, pool
+creation failure, and *per-shard worker crashes* all fall back to the
+deterministic in-process path — a crash costs time, never results.
+
+Workers receive their shard by pickling the jobs (circuits, sources and
+options are plain data) and return ``(times, solutions, stats)`` arrays;
+the parent rebuilds :class:`~repro.circuit.transient.TransientResult`
+objects against its own compiled systems, so solver handles and other
+unpicklables never cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import sys
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..circuit.mna import MnaSystem
+from ..circuit.transient import (TransientJob, TransientResult, job_group_key,
+                                 simulate_transient_many)
+from .config import ExecutionConfig, default_execution
+
+__all__ = ["run_jobs", "make_shards"]
+
+
+def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarray, dict]]:
+    """Worker entry point: solve a shard, return picklable payloads."""
+    results = simulate_transient_many(jobs)
+    return [(r.times, r._x, r.stats) for r in results]
+
+
+def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
+                mnas: Sequence[MnaSystem], n_workers: int) -> list[list[int]]:
+    """Partition job ``indices`` into at most ``n_workers`` shards.
+
+    Groups of batch-compatible jobs (equal
+    :func:`~repro.circuit.transient.job_group_key`) are kept contiguous
+    so each worker still batches internally; a group larger than the
+    per-worker target is split into chunks.  Chunks go to the
+    least-loaded shard (ties to the lowest shard index), which is
+    deterministic for a given job list and worker count.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for k in indices:
+        groups.setdefault(job_group_key(jobs[k], mnas[k]), []).append(k)
+    target = max(1, math.ceil(len(indices) / n_workers))
+
+    chunks: list[list[int]] = []
+    for members in groups.values():
+        for lo in range(0, len(members), target):
+            chunks.append(members[lo:lo + target])
+
+    shards: list[list[int]] = [[] for _ in range(n_workers)]
+    loads = [0] * n_workers
+    for chunk in sorted(chunks, key=len, reverse=True):
+        w = loads.index(min(loads))
+        shards[w].extend(chunk)
+        loads[w] += len(chunk)
+    return [s for s in shards if s]
+
+
+def _pool_context():
+    """Prefer ``fork`` on Linux (cheap, no scipy re-import per worker).
+
+    Elsewhere use the platform default: fork-without-exec is unsafe with
+    macOS's Objective-C/Accelerate runtimes — the reason CPython made
+    ``spawn`` the macOS default.
+    """
+    if sys.platform == "linux" and "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def run_jobs(
+    jobs: Sequence[TransientJob],
+    execution: ExecutionConfig | None = None,
+    diag: dict | None = None,
+) -> list[TransientResult]:
+    """Run many independent transient jobs through the execution layer.
+
+    Results come back in submission order and are numerically equivalent
+    (within the engines' <1e-9 V batched-vs-scalar tolerance) to
+    ``simulate_transient_many(jobs)``; with a warm store they are *bit
+    identical* to the run that populated it.
+
+    Parameters
+    ----------
+    jobs:
+        The simulations to perform.
+    execution:
+        Worker/store configuration; ``None`` uses
+        :func:`~repro.exec.config.default_execution` (the
+        ``REPRO_WORKERS`` / ``REPRO_STORE`` environment knobs).
+    diag:
+        Optional dict filled with run diagnostics: ``mode``
+        (``"serial"``/``"sharded"``), ``jobs``, ``store_hits``,
+        ``store_misses``, ``shards`` and ``fallback_shards`` (shards
+        whose worker failed and were re-run in-process).
+    """
+    jobs = list(jobs)
+    cfg = execution if execution is not None else default_execution()
+    if diag is not None:
+        diag.update({"mode": "serial", "jobs": len(jobs), "store_hits": 0,
+                     "store_misses": 0, "shards": 0, "fallback_shards": 0})
+    if not jobs:
+        return []
+
+    store = cfg.store
+    workers = max(1, int(cfg.workers))
+    if store is None and workers == 1:
+        return simulate_transient_many(jobs)
+
+    results: list[TransientResult | None] = [None] * len(jobs)
+    mnas = [MnaSystem(job.circuit) for job in jobs]
+    keys: list[str | None] = [None] * len(jobs)
+    pending: list[int] = []
+    for k, (job, mna) in enumerate(zip(jobs, mnas)):
+        if store is not None:
+            key = store.key_for(job, mna)
+            keys[k] = key
+            if key is not None:
+                cached = store.lookup(key, job, mna)
+                if cached is not None:
+                    results[k] = cached
+                    continue
+        pending.append(k)
+    if diag is not None and store is not None:
+        diag["store_hits"] = len(jobs) - len(pending)
+        diag["store_misses"] = len(pending)
+
+    if pending:
+        if workers == 1 or len(pending) < cfg.min_pool_jobs:
+            solved = simulate_transient_many([jobs[k] for k in pending],
+                                             mnas=[mnas[k] for k in pending])
+            for k, res in zip(pending, solved):
+                results[k] = res
+        else:
+            _run_sharded(pending, jobs, mnas, results, workers, diag)
+
+    if store is not None:
+        for k in pending:
+            if keys[k] is not None:
+                try:
+                    store.store(keys[k], results[k])
+                except Exception:
+                    # Persistence is an optimisation: a full disk or
+                    # revoked permission must degrade to an uncached run,
+                    # never discard hours of completed simulation.
+                    store.write_errors += 1
+    return results  # type: ignore[return-value]
+
+
+def _run_sharded(
+    pending: list[int],
+    jobs: list[TransientJob],
+    mnas: list[MnaSystem],
+    results: list[TransientResult | None],
+    workers: int,
+    diag: dict | None,
+) -> None:
+    """Solve ``pending`` across a process pool, serial fallback on failure."""
+    shards = make_shards(pending, jobs, mnas, workers)
+    if diag is not None:
+        diag.update({"mode": "sharded", "shards": len(shards)})
+
+    def solve_inline(shard: list[int]) -> None:
+        solved = simulate_transient_many([jobs[k] for k in shard],
+                                         mnas=[mnas[k] for k in shard])
+        for k, res in zip(shard, solved):
+            results[k] = res
+
+    try:
+        executor = ProcessPoolExecutor(max_workers=len(shards),
+                                       mp_context=_pool_context())
+    except Exception:
+        if diag is not None:
+            diag.update({"mode": "serial", "shards": 0,
+                         "fallback_shards": len(shards)})
+        for shard in shards:
+            solve_inline(shard)
+        return
+
+    with executor:
+        futures = [(shard, executor.submit(_simulate_shard,
+                                           [jobs[k] for k in shard]))
+                   for shard in shards]
+        for shard, future in futures:
+            try:
+                payload = future.result()
+            except Exception:
+                # A dead or failing worker (crash, OOM kill, pickling
+                # error) must not take the run down: re-solve its shard
+                # in-process, deterministically.
+                if diag is not None:
+                    diag["fallback_shards"] += 1
+                solve_inline(shard)
+                continue
+            for k, (times, x, stats) in zip(shard, payload):
+                results[k] = TransientResult(mnas[k], times, x, stats=stats)

@@ -1,0 +1,380 @@
+"""Content-keyed on-disk store of transient-simulation results.
+
+The experiments re-simulate identical (circuit, stimulus, grid) jobs
+across runs: Table 1 and Figure 2 share noise cases, ablations re-sweep
+the same alignments, and ``propagate_path`` re-simulates quiet references
+per technique.  The in-memory
+:class:`~repro.sta.noise_aware.QuietReferenceCache` showed the pattern;
+this module generalises it to *every* :class:`~repro.circuit.transient.TransientJob`
+and persists the results on disk, so repeat experiment runs are
+near-free.
+
+Keying
+------
+An entry is addressed by a SHA-256 over the full *content* of a job —
+nothing positional or environmental:
+
+* the circuit's :meth:`~repro.circuit.mna.MnaSystem.topology_signature`
+  (element lists, node order, ``gmin``),
+* a fingerprint of every independent source function
+  (:meth:`~repro.circuit.sources.SourceFunction.content_fingerprint` —
+  exact for DC/PWL/waveform sources; sources without a fingerprint make
+  the job *uncacheable*, never silently mis-keyed),
+* the time grid ``(t_start, t_stop, dt)``,
+* the initial state (``use_ic`` plus the sorted ``initial_voltages``
+  items — the DC *seed* steers the Newton path, so it keys the entry),
+* every :class:`~repro.circuit.transient.TransientOptions` field (sorted
+  by field name, so construction order is irrelevant), and
+* :data:`STORE_VERSION`, bumped whenever the solver's numerics change —
+  stale stores invalidate themselves instead of replaying old waveforms.
+
+Changing *any* component changes the key; see the README for the
+resulting invalidation rules.
+
+Storage
+-------
+One ``<key>.npz`` file per entry under the store root, written to a
+temporary file and atomically renamed (a crashed writer can never leave a
+half-entry under the final name).  Lookups validate shapes against the
+job's compiled system; an unreadable or mis-shaped entry is counted in
+``corrupt``, deleted, and treated as a miss, so the store self-heals.
+Hits touch the file's mtime, and inserts evict least-recently-used
+entries until the store fits ``max_bytes``.  ``hits`` / ``misses`` /
+``corrupt`` / ``evictions`` counters double as the test spy, surfaced
+alongside the quiet-reference cache by
+:func:`repro.sta.noise_aware.quiet_cache_stats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import struct
+from collections.abc import Mapping
+from pathlib import Path
+
+import numpy as np
+
+from .._util import require
+from ..circuit.mna import MnaSystem
+from ..circuit.transient import TransientJob, TransientOptions, TransientResult
+
+__all__ = ["STORE_VERSION", "UnkeyableJobError", "ResultStore", "job_key"]
+
+#: Bump when solver numerics change in a way that should invalidate
+#: previously stored waveforms.
+STORE_VERSION = 1
+
+#: Default size budget of a store (bytes) unless overridden.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Inserts between full directory rescans of the size counter (bounds
+#: the eviction-trigger drift when several processes share one root).
+_RESCAN_EVERY = 64
+
+#: Eviction drains the store to this fraction of ``max_bytes``: stopping
+#: exactly at the budget would leave the very next insert over it again,
+#: re-paying _evict's full directory scan on every store() once full.
+_EVICT_WATERMARK = 0.9
+
+
+class UnkeyableJobError(TypeError):
+    """A job contains content no canonical fingerprint exists for."""
+
+
+# ----------------------------------------------------------------------
+# Canonical hashing
+# ----------------------------------------------------------------------
+def _update(h, obj) -> None:
+    """Feed ``obj`` into hash ``h`` with an unambiguous type-tagged encoding.
+
+    Every supported value hashes the same regardless of container
+    insertion order (mappings are sorted by key) or numpy vs builtin
+    scalar type; unsupported objects raise :class:`UnkeyableJobError`.
+    """
+    if obj is None:
+        h.update(b"\x00N")
+    elif isinstance(obj, (bool, np.bool_)):
+        h.update(b"\x00B1" if obj else b"\x00B0")
+    elif isinstance(obj, (int, np.integer)):
+        enc = str(int(obj)).encode()
+        h.update(b"\x00I" + len(enc).to_bytes(4, "big") + enc)
+    elif isinstance(obj, (float, np.floating)):
+        h.update(b"\x00F" + struct.pack(">d", float(obj)))
+    elif isinstance(obj, str):
+        enc = obj.encode()
+        h.update(b"\x00S" + len(enc).to_bytes(8, "big") + enc)
+    elif isinstance(obj, bytes):
+        h.update(b"\x00Y" + len(obj).to_bytes(8, "big") + obj)
+    elif isinstance(obj, np.ndarray):
+        a = np.ascontiguousarray(obj)
+        h.update(b"\x00A" + str(a.dtype).encode() + b"|" + str(a.shape).encode() + b"|")
+        h.update(a.tobytes())
+    elif isinstance(obj, (tuple, list)):
+        h.update(b"\x00T" + len(obj).to_bytes(8, "big"))
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, Mapping):
+        items = sorted(obj.items(), key=lambda kv: str(kv[0]))
+        h.update(b"\x00M" + len(items).to_bytes(8, "big"))
+        for k, v in items:
+            _update(h, k)
+            _update(h, v)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(b"\x00D" + type(obj).__qualname__.encode())
+        for f in sorted(dataclasses.fields(obj), key=lambda f: f.name):
+            _update(h, f.name)
+            _update(h, getattr(obj, f.name))
+    else:
+        raise UnkeyableJobError(
+            f"no canonical fingerprint for {type(obj).__qualname__!r}")
+
+
+def _options_items(options: TransientOptions) -> tuple:
+    """The options as ``(name, value)`` pairs sorted by field name."""
+    return tuple(sorted(
+        (f.name, getattr(options, f.name))
+        for f in dataclasses.fields(options)
+    ))
+
+
+def job_key(job: TransientJob, mna: MnaSystem | None = None) -> str:
+    """SHA-256 content key of a transient job (hex digest).
+
+    Parameters
+    ----------
+    job:
+        The job to fingerprint.
+    mna:
+        Optionally a pre-compiled :class:`~repro.circuit.mna.MnaSystem`
+        of ``job.circuit`` (avoids recompiling when the caller already
+        holds one).
+
+    Raises
+    ------
+    UnkeyableJobError
+        When a source function (or other job content) has no canonical
+        fingerprint; such jobs must not be cached.
+    """
+    mna = mna if mna is not None else MnaSystem(job.circuit)
+    h = hashlib.sha256()
+    _update(h, ("repro-transient-job", STORE_VERSION))
+    _update(h, mna.topology_signature())
+    try:
+        # The SourceFunction base raises NotImplementedError for sources
+        # without a canonical fingerprint; normalise to the one exception
+        # type callers treat as "uncacheable".
+        _update(h, tuple(v.source.content_fingerprint()
+                         for v in job.circuit.vsources))
+        _update(h, tuple(i.source.content_fingerprint()
+                         for i in job.circuit.isources))
+    except NotImplementedError as exc:
+        raise UnkeyableJobError(str(exc)) from exc
+    _update(h, (float(job.t_start), float(job.t_stop), float(job.dt)))
+    _update(h, bool(job.use_ic))
+    _update(h, tuple(sorted(
+        (str(node), float(v))
+        for node, v in (job.initial_voltages or {}).items()
+    )))
+    _update(h, _options_items(job.options or TransientOptions()))
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Content-keyed on-disk store of :class:`TransientResult` arrays.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries (created on first use).
+    max_bytes:
+        Size budget; inserts evict least-recently-used entries (by file
+        mtime, refreshed on every hit) until the store fits.  The entry
+        being inserted is never evicted by its own insert.
+
+    Counters (``hits``/``misses``/``corrupt``/``evictions``/``stores``/
+    ``uncacheable``) are per-instance and reset by :meth:`clear`;
+    ``misses`` counts every failed lookup, including the ``corrupt``
+    ones.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+        require(max_bytes > 0, "store size budget must be positive")
+        self.root = Path(root)
+        self.max_bytes = int(max_bytes)
+        # Running on-disk byte total, seeded by one directory scan on
+        # first need and maintained incrementally — inserts must not pay
+        # an O(entries) rescan each (cold runs store thousands of
+        # entries).  ``None`` means "stale, rescan before trusting";
+        # periodically invalidated so concurrent writers sharing the
+        # root can only drift the eviction trigger by a bounded amount.
+        self._total_bytes: int | None = None
+        self._stores_since_rescan = 0
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.stores = 0
+        self.uncacheable = 0
+        self.write_errors = 0
+
+    # -- keys ----------------------------------------------------------
+    def key_for(self, job: TransientJob, mna: MnaSystem | None = None) -> str | None:
+        """The job's content key, or ``None`` (counted) when uncacheable."""
+        try:
+            return job_key(job, mna)
+        except UnkeyableJobError:
+            self.uncacheable += 1
+            return None
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    # -- lookup / store ------------------------------------------------
+    def lookup(self, key: str, job: TransientJob,
+               mna: MnaSystem | None = None) -> TransientResult | None:
+        """The stored result rebuilt against ``job``'s circuit, or ``None``.
+
+        A present-but-unreadable (or mis-shaped) entry counts as
+        ``corrupt``, is deleted, and reads as a miss — the caller
+        re-simulates and re-stores.
+        """
+        path = self._path(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        mna = mna if mna is not None else MnaSystem(job.circuit)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                times = np.array(data["times"], dtype=np.float64)
+                x = np.array(data["x"], dtype=np.float64)
+            require(times.ndim == 1 and times.size >= 2, "bad time axis")
+            require(x.shape == (times.size, mna.size), "solution shape mismatch")
+        except Exception:
+            self.corrupt += 1
+            self.misses += 1
+            self._total_bytes = None  # entry removed outside _evict
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        self.hits += 1
+        return TransientResult(mna, times, x, stats={"source": "store"})
+
+    def store(self, key: str, result: TransientResult) -> None:
+        """Insert a result atomically, then evict LRU entries over budget."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        existing = 0
+        if path.exists():  # overwrite: don't double-count the bytes
+            try:
+                existing = path.stat().st_size
+            except OSError:
+                existing = 0
+        tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as f:
+                np.savez(f, times=result.times, x=result._x)
+            written = tmp.stat().st_size
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed midway
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stores += 1
+        self._stores_since_rescan += 1
+        if self._stores_since_rescan >= _RESCAN_EVERY:
+            self._total_bytes = None  # pick up concurrent writers' bytes
+        elif self._total_bytes is not None:
+            self._total_bytes += written - existing
+        if self.total_bytes() > self.max_bytes:
+            self._evict(keep=path)
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """All entries as ``(mtime, size, path)``, oldest first."""
+        out = []
+        if self.root.is_dir():
+            for p in self.root.glob("*.npz"):
+                try:
+                    st = p.stat()
+                except OSError:
+                    continue
+                out.append((st.st_mtime, st.st_size, p))
+        out.sort(key=lambda e: (e[0], e[2].name))
+        return out
+
+    def total_bytes(self) -> int:
+        """Current on-disk size, from the incremental counter (seeded by
+        one directory scan when first consulted or after invalidation)."""
+        if self._total_bytes is None:
+            self._total_bytes = sum(size for _, size, _ in self._entries())
+            self._stores_since_rescan = 0
+        return self._total_bytes
+
+    def _evict(self, keep: Path | None = None) -> None:
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        low = _EVICT_WATERMARK * self.max_bytes
+        for _, size, path in entries:
+            if total <= low:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+        self._total_bytes = total
+
+    # -- maintenance ---------------------------------------------------
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/corrupt/eviction counters, keeping entries."""
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evictions = 0
+        self.stores = 0
+        self.uncacheable = 0
+        self.write_errors = 0
+
+    def clear(self) -> None:
+        """Delete every on-disk entry and reset all counters."""
+        for _, _, path in self._entries():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._total_bytes = 0
+        self.reset_counters()
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def stats(self) -> dict:
+        """Counters plus current entry count and on-disk byte size."""
+        entries = self._entries()
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "uncacheable": self.uncacheable,
+            "write_errors": self.write_errors,
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "root": str(self.root),
+        }

@@ -40,6 +40,7 @@ from .table1 import (
     Table1Row,
     default_case_count,
     run_table1,
+    run_table1_many,
 )
 
 __all__ = [
@@ -61,6 +62,7 @@ __all__ = [
     "Table1Row",
     "Table1Result",
     "run_table1",
+    "run_table1_many",
     "default_case_count",
     "PAPER_TABLE1",
     "RuntimeMeasurement",

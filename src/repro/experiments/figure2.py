@@ -18,6 +18,7 @@ from ..core.propagation import GateFixture
 from ..core.techniques import PropagationInputs
 from ..core.techniques.sgdp import Sgdp
 from ..core.waveform import Waveform
+from ..exec import ExecutionConfig, run_jobs
 from .noise_injection import SweepTiming, run_noise_cases
 from .setup import CONFIG_I, CrosstalkConfig, receiver_fixture
 
@@ -71,18 +72,23 @@ def generate_figure2(
     n_points: int = 241,
     fixture: GateFixture | None = None,
     solver_backend: str = "auto",
+    execution: ExecutionConfig | None = None,
 ) -> Figure2Data:
     """Produce the Figure 2 series for one noise alignment.
 
     The default offset places the aggressor glitch mid-transition, the
     situation panel (b) of the paper illustrates.  ``solver_backend``
-    is the linear-solver backend request forwarded to every simulation.
+    is the linear-solver backend request forwarded to every simulation;
+    ``execution`` routes all three simulations (noiseless reference,
+    noise case, Γ_eff re-simulation) through the shared execution layer,
+    so a warm result store regenerates the figure without solving.
     """
     timing = timing or SweepTiming()
     # The noiseless reference and the noise case share a topology: one batch.
     ref, cases = run_noise_cases(
         config, [tuple(offset for _ in range(config.n_aggressors))],
-        timing, include_noiseless=True, solver_backend=solver_backend)
+        timing, include_noiseless=True, solver_backend=solver_backend,
+        execution=execution)
     case = cases[0]
     inputs = PropagationInputs(
         v_in_noisy=case.v_in_noisy, vdd=config.vdd,
@@ -93,9 +99,10 @@ def generate_figure2(
     gamma = sgdp.equivalent_waveform(inputs)
     fixture = fixture or receiver_fixture(config, dt=timing.dt,
                                           solver_backend=solver_backend)
-    eff_out = fixture.response(
+    eff_job = fixture.transient_job(
         gamma, t_window=(case.v_in_noisy.t_start,
                          case.v_in_noisy.t_end + fixture.settle_margin))
+    eff_out = fixture.measure(run_jobs([eff_job], execution)[0])
 
     # Common plotting grid: span both critical regions with margin.
     t_lo = min(sens.region[0], inputs.noisy_critical_region()[0]) - 0.2e-9

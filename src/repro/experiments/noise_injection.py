@@ -11,8 +11,14 @@ needs.
 All cases of a sweep share the Figure 1 topology — only the aggressor
 source timings differ — so :func:`run_noise_cases` submits the whole
 sweep (optionally including the quiet-aggressor reference, whose circuit
-differs only in its source functions) as one batch to
-:func:`~repro.circuit.transient.simulate_transient_many`.
+differs only in its source functions) as one batch through the execution
+layer (:func:`repro.exec.run_jobs`): an
+:class:`~repro.exec.ExecutionConfig` decides whether that batch runs
+in-process, sharded over worker processes, and/or against the
+content-keyed result store.  Every driver here takes the shared
+``execution`` object (defaulting to the ``REPRO_WORKERS`` /
+``REPRO_STORE`` environment configuration) instead of constructing its
+own.
 """
 
 from __future__ import annotations
@@ -22,16 +28,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import require
-from ..circuit.transient import (TransientJob, TransientOptions,
-                                 simulate_transient, simulate_transient_many)
+from ..circuit.transient import TransientJob, TransientOptions
 from ..core.waveform import Waveform
+from ..exec import ExecutionConfig, run_jobs
 from .setup import CrosstalkConfig, Testbench, build_testbench
 
 __all__ = [
     "SweepTiming",
     "NoiseCase",
     "NoiselessReference",
+    "NoiseSweepPlan",
     "alignment_offsets",
+    "prepare_noise_sweep",
+    "finish_noise_sweep",
     "run_noiseless",
     "run_noise_case",
     "run_noise_cases",
@@ -107,24 +116,20 @@ def alignment_offsets(n_cases: int, window: float = 1.0e-9) -> np.ndarray:
 
 
 def _simulate(bench: Testbench, timing: SweepTiming,
-              solver_backend: str = "auto"):
-    return simulate_transient(
-        bench.circuit,
-        t_stop=timing.t_stop,
-        dt=timing.dt,
-        initial_voltages=bench.initial_voltages,
-        options=TransientOptions(backend=solver_backend),
-    )
+              solver_backend: str = "auto",
+              execution: ExecutionConfig | None = None):
+    return run_jobs([_bench_job(bench, timing, solver_backend)], execution)[0]
 
 
 def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None,
-                  solver_backend: str = "auto") -> NoiselessReference:
+                  solver_backend: str = "auto",
+                  execution: ExecutionConfig | None = None) -> NoiselessReference:
     """Simulate the testbench with quiet aggressors."""
     timing = timing or SweepTiming()
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=[timing.victim_start] * config.n_aggressors,
                             aggressor_active=False)
-    result = _simulate(bench, timing, solver_backend)
+    result = _simulate(bench, timing, solver_backend, execution)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiselessReference(
@@ -135,7 +140,8 @@ def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None,
 
 def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
                    timing: SweepTiming | None = None,
-                   solver_backend: str = "auto") -> NoiseCase:
+                   solver_backend: str = "auto",
+                   execution: ExecutionConfig | None = None) -> NoiseCase:
     """Simulate one aggressor alignment.
 
     Parameters
@@ -144,13 +150,16 @@ def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
         Per-aggressor start-time offset relative to the victim start.
     solver_backend:
         Linear-solver backend request (``TransientOptions.backend``).
+    execution:
+        Execution-layer configuration (a single simulation still
+        benefits from the result store on repeat runs).
     """
     timing = timing or SweepTiming()
     require(len(offsets) == config.n_aggressors, "one offset per aggressor")
     starts = [timing.victim_start + off for off in offsets]
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=starts, aggressor_active=True)
-    result = _simulate(bench, timing, solver_backend)
+    result = _simulate(bench, timing, solver_backend, execution)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiseCase(
@@ -180,6 +189,87 @@ def _case_from(bench: Testbench, result, config: CrosstalkConfig,
     )
 
 
+@dataclass(frozen=True)
+class NoiseSweepPlan:
+    """A prepared (not yet simulated) noise-injection sweep.
+
+    Built by :func:`prepare_noise_sweep`; ``jobs`` is what the execution
+    layer must run (one result per job, in order) before
+    :func:`finish_noise_sweep` extracts the reference and cases.
+    Callers that want a wider batch front (e.g.
+    :func:`~repro.experiments.table1.run_table1_many`) concatenate the
+    ``jobs`` of several plans into one submission and hand each plan its
+    slice of the results.
+    """
+
+    config: CrosstalkConfig
+    offsets_list: tuple[tuple[float, ...], ...]
+    include_noiseless: bool
+    benches: tuple[Testbench, ...]
+    jobs: tuple[TransientJob, ...]
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of results :func:`finish_noise_sweep` expects."""
+        return len(self.jobs)
+
+
+def prepare_noise_sweep(
+    config: CrosstalkConfig,
+    offsets_list: "list[tuple[float, ...]]",
+    timing: SweepTiming | None = None,
+    include_noiseless: bool = False,
+    solver_backend: str = "auto",
+) -> NoiseSweepPlan:
+    """Build the testbenches and jobs of one alignment sweep."""
+    timing = timing or SweepTiming()
+    benches: list[Testbench] = []
+    if include_noiseless:
+        benches.append(build_testbench(
+            config, victim_start=timing.victim_start,
+            aggressor_starts=[timing.victim_start] * config.n_aggressors,
+            aggressor_active=False))
+    for offsets in offsets_list:
+        require(len(offsets) == config.n_aggressors, "one offset per aggressor")
+        starts = [timing.victim_start + off for off in offsets]
+        benches.append(build_testbench(config, victim_start=timing.victim_start,
+                                       aggressor_starts=starts,
+                                       aggressor_active=True))
+    return NoiseSweepPlan(
+        config=config,
+        offsets_list=tuple(tuple(o) for o in offsets_list),
+        include_noiseless=include_noiseless,
+        benches=tuple(benches),
+        jobs=tuple(_bench_job(b, timing, solver_backend) for b in benches),
+    )
+
+
+def finish_noise_sweep(
+    plan: NoiseSweepPlan, results
+) -> tuple[NoiselessReference | None, list[NoiseCase]]:
+    """Extract the reference and cases from a prepared sweep's results."""
+    require(len(results) == plan.n_jobs,
+            f"sweep plan expects {plan.n_jobs} results, got {len(results)}")
+    config = plan.config
+    ref: NoiselessReference | None = None
+    cursor = 0
+    if plan.include_noiseless:
+        bench0, res0 = plan.benches[0], results[0]
+        v_in = res0.waveform(bench0.nodes.victim_far_end)
+        v_out = res0.waveform(bench0.nodes.receiver_out)
+        ref = NoiselessReference(
+            v_in=v_in, v_out=v_out,
+            output_arrival=v_out.arrival_time(config.vdd, which="last"),
+        )
+        cursor = 1
+    cases = [
+        _case_from(bench, result, config, offsets)
+        for bench, result, offsets in zip(plan.benches[cursor:],
+                                          results[cursor:], plan.offsets_list)
+    ]
+    return ref, cases
+
+
 def run_noise_cases(
     config: CrosstalkConfig,
     offsets_list: "list[tuple[float, ...]]",
@@ -187,13 +277,14 @@ def run_noise_cases(
     include_noiseless: bool = False,
     batch: bool = True,
     solver_backend: str = "auto",
+    execution: ExecutionConfig | None = None,
 ) -> tuple[NoiselessReference | None, list[NoiseCase]]:
-    """Simulate many aggressor alignments through the batched engine.
+    """Simulate many aggressor alignments through the execution layer.
 
     All alignment cases (and the optional quiet-aggressor reference)
-    share one circuit topology, so they advance through a single stacked
-    Newton loop — the batched replacement for looping
-    :func:`run_noise_case`.
+    share one circuit topology, so they advance through stacked Newton
+    loops — sharded over worker processes and/or served from the result
+    store as the ``execution`` configuration directs.
 
     Parameters
     ----------
@@ -207,11 +298,15 @@ def run_noise_cases(
         Also simulate the quiet-aggressor reference (in the same batch)
         and return it as the first element.
     batch:
-        ``False`` falls back to sequential per-case simulation
-        (numerically equivalent; the benchmark's baseline).
+        ``False`` falls back to strictly sequential per-case simulation,
+        bypassing the execution layer entirely (numerically equivalent;
+        the benchmarks' baseline).
     solver_backend:
         Linear-solver backend request (``TransientOptions.backend``)
         applied to every simulation of the sweep.
+    execution:
+        Shared execution-layer configuration; ``None`` uses the
+        ``REPRO_WORKERS`` / ``REPRO_STORE`` environment defaults.
 
     Returns
     -------
@@ -219,59 +314,35 @@ def run_noise_cases(
         The reference (or ``None``) and one :class:`NoiseCase` per offset
         tuple, in order.
     """
-    timing = timing or SweepTiming()
-    if not batch:
-        ref = run_noiseless(config, timing, solver_backend) \
-            if include_noiseless else None
-        return ref, [run_noise_case(config, offs, timing, solver_backend)
-                     for offs in offsets_list]
-
-    benches: list[Testbench] = []
-    if include_noiseless:
-        benches.append(build_testbench(
-            config, victim_start=timing.victim_start,
-            aggressor_starts=[timing.victim_start] * config.n_aggressors,
-            aggressor_active=False))
-    for offsets in offsets_list:
-        require(len(offsets) == config.n_aggressors, "one offset per aggressor")
-        starts = [timing.victim_start + off for off in offsets]
-        benches.append(build_testbench(config, victim_start=timing.victim_start,
-                                       aggressor_starts=starts,
-                                       aggressor_active=True))
-
-    results = simulate_transient_many(
-        [_bench_job(b, timing, solver_backend) for b in benches])
-
-    ref: NoiselessReference | None = None
-    cursor = 0
-    if include_noiseless:
-        bench0, res0 = benches[0], results[0]
-        v_in = res0.waveform(bench0.nodes.victim_far_end)
-        v_out = res0.waveform(bench0.nodes.receiver_out)
-        ref = NoiselessReference(
-            v_in=v_in, v_out=v_out,
-            output_arrival=v_out.arrival_time(config.vdd, which="last"),
-        )
-        cursor = 1
-    cases = [
-        _case_from(bench, result, config, offsets)
-        for bench, result, offsets in zip(benches[cursor:], results[cursor:],
-                                          offsets_list)
-    ]
-    return ref, cases
+    plan = prepare_noise_sweep(config, offsets_list, timing,
+                               include_noiseless=include_noiseless,
+                               solver_backend=solver_backend)
+    results = run_jobs(list(plan.jobs), execution) if batch \
+        else [j.run() for j in plan.jobs]
+    return finish_noise_sweep(plan, results)
 
 
 def iter_noise_cases(config: CrosstalkConfig, n_cases: int,
                      timing: SweepTiming | None = None,
-                     stagger: float = 0.0):
+                     stagger: float = 0.0,
+                     solver_backend: str = "auto",
+                     execution: ExecutionConfig | None = None):
     """Yield :class:`NoiseCase` objects across the alignment sweep.
 
     With multiple aggressors, all are swept together; ``stagger`` offsets
     aggressor ``k`` by ``k·stagger`` from the first (the paper does not
     specify the multi-aggressor alignment policy — synchronised aggressors
     maximise the injected noise, which is the interesting regime).
+
+    Lazy: one coupled simulation per ``next()``, each routed through the
+    shared ``execution`` configuration (not a private per-case default) —
+    so a warm result store feeds the iterator for free, and consumers
+    that break early never pay for the rest of the sweep.  Use
+    :func:`run_noise_cases` for the batched/sharded all-at-once front.
     """
     timing = timing or SweepTiming()
     for base in alignment_offsets(n_cases, timing.window):
         offsets = tuple(base + k * stagger for k in range(config.n_aggressors))
-        yield run_noise_case(config, offsets, timing)
+        yield run_noise_case(config, offsets, timing,
+                             solver_backend=solver_backend,
+                             execution=execution)

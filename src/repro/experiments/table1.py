@@ -19,28 +19,35 @@ The case count defaults to the ``REPRO_CASES`` environment variable
 (falling back to 24 for tractable CI runs); set ``REPRO_CASES=200`` to
 match the paper's sweep density.
 
-The sweep is batched end to end: all coupled-circuit noise cases of one
-polarity (plus the quiet-aggressor reference) run through one stacked
-transient solve, and each case's golden-plus-techniques fixture
-re-simulations form a second batch — see
-:func:`~repro.circuit.transient.simulate_transient_many`.  Pass
-``batch=False`` for the sequential baseline.
+The sweep is batched end to end with the *widest possible front*: the
+coupled-circuit noise cases of **every polarity of every configuration**
+(plus the quiet-aggressor references) form one submission to the
+execution layer, and all cases' golden-plus-techniques fixture
+re-simulations form a second — so a multi-worker
+:class:`~repro.exec.ExecutionConfig` shards the whole workload in two
+passes, and a warm result store satisfies it without a single transient
+solve.  :func:`run_table1_many` exposes the multi-configuration front
+directly; pass ``batch=False`` for the strictly sequential baseline.
 """
 
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 from .._util import require
 from ..core.metrics import ErrorStats, error_stats, format_ps
-from ..core.propagation import evaluate_techniques
+from ..core.propagation import finish_evaluation, prepare_evaluation
 from ..core.techniques import PropagationInputs, Technique, all_techniques
-from .noise_injection import NoiselessReference, SweepTiming, alignment_offsets, run_noise_cases
+from ..exec import ExecutionConfig, run_jobs
+from .noise_injection import (NoiselessReference, SweepTiming,
+                              alignment_offsets, finish_noise_sweep,
+                              prepare_noise_sweep)
 from .setup import CrosstalkConfig, receiver_fixture
 
-__all__ = ["Table1Row", "Table1Result", "run_table1", "default_case_count",
-           "PAPER_TABLE1"]
+__all__ = ["Table1Row", "Table1Result", "run_table1", "run_table1_many",
+           "default_case_count", "PAPER_TABLE1"]
 
 #: The paper's Table 1 numbers (ps), for side-by-side reporting:
 #: {technique: {config: (max, avg)}}.
@@ -122,6 +129,7 @@ def run_table1(
     progress: bool = False,
     batch: bool = True,
     solver_backend: str = "auto",
+    execution: ExecutionConfig | None = None,
 ) -> Table1Result:
     """Run the Table 1 sweep for one configuration.
 
@@ -144,74 +152,160 @@ def run_table1(
         Optionally reuse a precomputed noiseless reference (per polarity
         the reference is identical — aggressors are quiet).
     progress:
-        Print one line per case (for long interactive runs).
+        Announce each batched submission as it starts and print one
+        line per case once its results are scored (for long interactive
+        runs; per-case lines necessarily follow the batched solves).
     batch:
-        Run the coupled-circuit sweep and each case's technique
-        re-simulations through the batched transient engine (default).
-        ``False`` reproduces the sequential per-simulation path —
-        numerically equivalent, used as the benchmark baseline.
+        Submit the coupled-circuit sweep and all technique
+        re-simulations through the execution layer in two wide batches
+        (default).  ``False`` reproduces the strictly sequential
+        per-simulation path — numerically equivalent, used as the
+        benchmark baseline.
     solver_backend:
         Linear-solver backend request (``TransientOptions.backend``)
         applied to every simulation of the sweep — the coupled-circuit
         noise cases and the fixture re-simulations alike.
+    execution:
+        Shared execution-layer configuration (workers + result store);
+        ``None`` uses the ``REPRO_WORKERS`` / ``REPRO_STORE``
+        environment defaults.
 
     Returns
     -------
     Table1Result
     """
+    return run_table1_many(
+        [config], n_cases=n_cases, timing=timing, techniques=techniques,
+        polarity=polarity, noiseless=noiseless, progress=progress,
+        batch=batch, solver_backend=solver_backend, execution=execution)[0]
+
+
+def run_table1_many(
+    configs: Sequence[CrosstalkConfig],
+    n_cases: int | None = None,
+    timing: SweepTiming | None = None,
+    techniques: list[Technique] | None = None,
+    polarity: str = "both",
+    noiseless: NoiselessReference | None = None,
+    progress: bool = False,
+    batch: bool = True,
+    solver_backend: str = "auto",
+    execution: ExecutionConfig | None = None,
+) -> list[Table1Result]:
+    """Run the Table 1 sweep for several configurations at once.
+
+    The widest batch front of the repo: *all* coupled-circuit noise
+    cases — every polarity of every configuration, plus one
+    quiet-aggressor reference per (configuration, polarity) — go through
+    the execution layer as one submission, and every case's
+    golden-plus-techniques fixture re-simulations form a second.  With
+    ``workers > 1`` both submissions shard across processes; with a warm
+    result store neither performs a single transient solve.
+
+    Parameters are as in :func:`run_table1` (``noiseless``, when given,
+    replaces the reference of every configuration — only meaningful when
+    all configurations share one).  Returns one :class:`Table1Result`
+    per configuration, in order.
+    """
     require(polarity in _POLARITIES, f"polarity must be one of {_POLARITIES}")
+    require(len(configs) >= 1, "need at least one configuration")
     timing = timing or SweepTiming()
     techs = techniques if techniques is not None else all_techniques()
     n_total = n_cases if n_cases is not None else default_case_count()
     require(n_total >= 2, "need at least two cases")
 
     if polarity == "both":
-        plans = [("opposing", True), ("same", False)]
+        plan_dirs = [("opposing", True), ("same", False)]
         counts = [n_total - n_total // 2, n_total // 2]
     else:
-        plans = [(polarity, polarity == "opposing")]
+        plan_dirs = [(polarity, polarity == "opposing")]
         counts = [n_total]
 
-    fixture = receiver_fixture(config, dt=timing.dt,
-                               solver_backend=solver_backend)
-    delay_errors: dict[str, list[float | None]] = {t.name: [] for t in techs}
-    arrival_errors: dict[str, list[float | None]] = {t.name: [] for t in techs}
+    def run(jobs):
+        return run_jobs(jobs, execution) if batch else [j.run() for j in jobs]
 
-    for (label, opposing), n_here in zip(plans, counts):
-        cfg = replace(config, aggressors_opposing=opposing)
-        offsets_list = [tuple(base for _ in range(cfg.n_aggressors))
-                        for base in alignment_offsets(n_here, timing.window)]
-        ref, cases = run_noise_cases(cfg, offsets_list, timing,
-                                     include_noiseless=noiseless is None,
-                                     batch=batch,
-                                     solver_backend=solver_backend)
+    def announce(message):
+        # Phase-level liveness for long interactive runs: the per-case
+        # lines can only appear after a batched submission returns, so
+        # say what each submission contains before it starts.
+        if progress:
+            print(f"  {message}", flush=True)
+
+    # --- phase 1: every noise case of every (config, polarity) plan ----
+    plans = []  # (config index, label, NoiseSweepPlan)
+    jobs = []
+    for c_idx, config in enumerate(configs):
+        for (label, opposing), n_here in zip(plan_dirs, counts):
+            cfg = replace(config, aggressors_opposing=opposing)
+            offsets_list = [tuple(base for _ in range(cfg.n_aggressors))
+                            for base in alignment_offsets(n_here, timing.window)]
+            sweep = prepare_noise_sweep(cfg, offsets_list, timing,
+                                        include_noiseless=noiseless is None,
+                                        solver_backend=solver_backend)
+            plans.append((c_idx, label, sweep))
+            jobs.extend(sweep.jobs)
+    announce(f"simulating {len(jobs)} coupled noise cases "
+             f"({len(plans)} sweep plan(s))...")
+    sims = run(jobs)
+
+    # --- phase 2: golden + technique re-simulations for every case -----
+    fixtures = [receiver_fixture(config, dt=timing.dt,
+                                 solver_backend=solver_backend)
+                for config in configs]
+    eval_plans = []  # (config index, label, case, EvaluationPlan)
+    eval_jobs = []
+    cursor = 0
+    for c_idx, label, sweep in plans:
+        ref, cases = finish_noise_sweep(sweep, sims[cursor:cursor + sweep.n_jobs])
+        cursor += sweep.n_jobs
         ref = noiseless if noiseless is not None else ref
         for case in cases:
             inputs = PropagationInputs(
                 v_in_noisy=case.v_in_noisy,
-                vdd=cfg.vdd,
+                vdd=sweep.config.vdd,
                 v_in_noiseless=ref.v_in,
                 v_out_noiseless=ref.v_out,
             )
-            _, results = evaluate_techniques(fixture, inputs, techs, batch=batch)
-            for name, ev in results.items():
-                delay_errors[name].append(ev.delay_error)
-                arrival_errors[name].append(ev.arrival_error)
-            if progress:
-                worst = max((abs(e.delay_error or 0.0) for e in results.values()),
-                            default=0.0)
-                print(f"  config {config.name} {label} offset "
-                      f"{case.offsets[0] * 1e12:+6.1f} ps "
-                      f"worst |err| {worst * 1e12:6.1f} ps")
+            plan = prepare_evaluation(fixtures[c_idx], inputs, techs)
+            eval_plans.append((c_idx, label, case, plan))
+            eval_jobs.extend(plan.jobs)
+    # The coupled-circuit solution matrices are large at sweep scale and
+    # fully consumed (each case keeps only its two waveforms): release
+    # them before the second batch solves.
+    del sims, jobs
+    announce(f"re-simulating {len(eval_jobs)} golden+technique fixtures "
+             f"({len(eval_plans)} cases)...")
+    eval_sims = run(eval_jobs)
 
+    # --- scoring -------------------------------------------------------
     order = [t.name for t in techs]
-    rows = tuple(
-        Table1Row(
-            technique=name,
-            delay=error_stats(delay_errors[name]),
-            arrival=error_stats(arrival_errors[name]),
+    delay_errors = [{name: [] for name in order} for _ in configs]
+    arrival_errors = [{name: [] for name in order} for _ in configs]
+    cursor = 0
+    for c_idx, label, case, plan in eval_plans:
+        _, results = finish_evaluation(plan, eval_sims[cursor:cursor + plan.n_jobs])
+        cursor += plan.n_jobs
+        for name, ev in results.items():
+            delay_errors[c_idx][name].append(ev.delay_error)
+            arrival_errors[c_idx][name].append(ev.arrival_error)
+        if progress:
+            worst = max((abs(e.delay_error or 0.0) for e in results.values()),
+                        default=0.0)
+            print(f"  config {configs[c_idx].name} {label} offset "
+                  f"{case.offsets[0] * 1e12:+6.1f} ps "
+                  f"worst |err| {worst * 1e12:6.1f} ps")
+
+    return [
+        Table1Result(
+            config_name=config.name, n_cases=n_total, polarity=polarity,
+            rows=tuple(
+                Table1Row(
+                    technique=name,
+                    delay=error_stats(delay_errors[c_idx][name]),
+                    arrival=error_stats(arrival_errors[c_idx][name]),
+                )
+                for name in order
+            ),
         )
-        for name in order
-    )
-    return Table1Result(config_name=config.name, n_cases=n_total,
-                        polarity=polarity, rows=rows)
+        for c_idx, config in enumerate(configs)
+    ]

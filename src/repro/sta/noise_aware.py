@@ -20,10 +20,12 @@ technique can be measured — the multi-stage generalisation of Table 1.
 Simulation strategy
 -------------------
 The noisy stage and its quiet-aggressor (noiseless) reference are
-submitted together to
-:func:`~repro.circuit.transient.simulate_transient_many`; stages without
-aggressors share a topology with their reference and advance through one
-stacked Newton loop.
+submitted together through the execution layer
+(:func:`repro.exec.run_jobs`, honouring the shared
+:class:`~repro.exec.ExecutionConfig`); stages without aggressors share a
+topology with their reference and advance through one stacked Newton
+loop, and a configured result store memoises every stage simulation
+across runs.
 
 The quiet reference depends only on the stage configuration and the
 incoming stimulus — not on the aggressor alignment — so it is memoised in
@@ -54,9 +56,9 @@ from dataclasses import dataclass, field
 from .._util import require
 from ..circuit.netlist import Circuit
 from ..circuit.sources import RampSource
-from ..circuit.transient import (TransientJob, TransientOptions,
-                                 simulate_transient, simulate_transient_many)
+from ..circuit.transient import TransientJob, TransientOptions
 from ..core.ramp import SaturatedRamp
+from ..exec import ExecutionConfig, default_execution, run_jobs
 from ..core.techniques import PropagationInputs, Technique
 from ..core.techniques.sgdp import Sgdp
 from ..core.waveform import Waveform
@@ -196,15 +198,40 @@ class QuietReferenceCache:
 _QUIET_CACHE = QuietReferenceCache()
 
 
-def clear_quiet_cache() -> None:
-    """Reset the module-wide quiet-reference cache (tests, sweeps)."""
+def clear_quiet_cache(drop_store_entries: bool = False) -> None:
+    """Reset every memoisation layer behind noise-aware propagation.
+
+    Clears the module-wide quiet-reference cache and, when the default
+    :class:`~repro.exec.ExecutionConfig` carries a result store
+    (``REPRO_STORE`` or :func:`repro.exec.set_default_execution`), zeroes
+    that store's counters.  The store's *on-disk entries* survive by
+    default — a warmed store may represent hours of simulation, and a
+    stats reset (the common reason to call this in tests and sweeps)
+    must not destroy it; pass ``drop_store_entries=True`` to wipe the
+    entries too.
+    """
     _QUIET_CACHE.clear()
+    store = default_execution().store
+    if store is not None:
+        if drop_store_entries:
+            store.clear()
+        else:
+            store.reset_counters()
 
 
-def quiet_cache_stats() -> dict[str, int]:
-    """Hits/misses/size of the module-wide quiet-reference cache."""
+def quiet_cache_stats() -> dict:
+    """One stats surface over both memoisation layers.
+
+    ``hits``/``misses``/``size`` describe the in-memory quiet-reference
+    cache; ``store`` holds the default execution configuration's
+    result-store stats (:meth:`repro.exec.ResultStore.stats` — hits,
+    misses, corrupt entries, evictions, entry count and bytes), or
+    ``None`` when no store is configured.
+    """
+    store = default_execution().store
     return {"hits": _QUIET_CACHE.hits, "misses": _QUIET_CACHE.misses,
-            "size": len(_QUIET_CACHE)}
+            "size": len(_QUIET_CACHE),
+            "store": store.stats() if store is not None else None}
 
 
 def _build_stage_circuit(stage: NoisyStage, vdd: float) -> tuple[Circuit, dict[str, float], str, str]:
@@ -277,6 +304,7 @@ def propagate_path(
     slew_fallback: float | None = 100e-12,
     quiet_cache: QuietReferenceCache | None = None,
     solver_backend: str = "auto",
+    execution: ExecutionConfig | None = None,
 ) -> list[StageTiming]:
     """Propagate timing through a chain of (possibly coupled) stages.
 
@@ -311,6 +339,11 @@ def propagate_path(
         (``TransientOptions.backend``); every backend produces
         equivalent waveforms, so cached quiet references remain valid
         across backend choices.
+    execution:
+        Execution-layer configuration for the stage simulations; with a
+        result store, re-propagating a path (another technique, another
+        run) re-simulates nothing that was already solved.  ``None``
+        uses the environment defaults.
 
     Returns
     -------
@@ -365,7 +398,7 @@ def propagate_path(
 
         # Aggressor-free stages share a topology with their quiet
         # reference, so this advances both through one stacked solve.
-        sims = simulate_transient_many(jobs)
+        sims = run_jobs(jobs, execution)
         v_far = sims[0].waveform(far)
         v_out = sims[0].waveform(out)
         if quiet_pair is None:
@@ -408,10 +441,10 @@ def propagate_path(
             re_c.vsource("Vfar", "far", "0", gamma_wave)
             re_init = {"far": gamma_wave.v_initial, "vdd": vdd,
                        "out": vdd - gamma_wave.v_initial}
-            re_sim = simulate_transient(re_c, t_stop=gamma_wave.t_end, dt=dt,
-                                        t_start=gamma_wave.t_start,
-                                        initial_voltages=re_init,
-                                        options=sim_opts)
+            re_sim = run_jobs([TransientJob(
+                re_c, t_stop=gamma_wave.t_end, dt=dt,
+                t_start=gamma_wave.t_start, initial_voltages=re_init,
+                options=sim_opts)], execution)[0]
             re_v_out = re_sim.waveform("out")
             arr = re_v_out.arrival_time(vdd, which="last")
             try:

@@ -1,0 +1,147 @@
+"""Execution-layer pool tests: sharded vs serial equivalence, determinism,
+and the worker-crash fallback path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import MnaSystem
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import TransientJob, simulate_transient_many
+from repro.core.waveform import Waveform
+from repro.exec import ExecutionConfig, run_jobs
+from repro.exec import pool as pool_mod
+from repro.exec.pool import make_shards
+from repro.library.cells import standard_cell
+from repro.core.propagation import GateFixture
+
+VOLTAGE_TOL = 1e-9
+
+
+def rc_job(r_ohm: float, start: float, n_stages: int = 3,
+           t_stop: float = 0.8e-9) -> TransientJob:
+    """A MOSFET-free RC ladder driven by a ramp."""
+    c = Circuit("ladder")
+    c.vsource("Vin", "n0", "0", RampSource(start, 100e-12, 0.0, 1.2))
+    for k in range(n_stages):
+        c.resistor(f"R{k}", f"n{k}", f"n{k + 1}", r_ohm)
+        c.capacitor(f"C{k}", f"n{k + 1}", "0", 20e-15)
+    return TransientJob(c, t_stop=t_stop, dt=2e-12)
+
+
+def inverter_job(slew: float, t_stop: float = 0.6e-9) -> TransientJob:
+    """A MOSFET (nonlinear) job: an inverter fixture driven by a ramp."""
+    fixture = GateFixture(cell=standard_cell(1), extra_load=10e-15, dt=2e-12)
+    wave = Waveform.ramp(t_start=50e-12, slew=slew, vdd=fixture.cell.vdd)
+    return fixture.transient_job(wave, t_window=(0.0, t_stop))
+
+
+def job_mix() -> list[TransientJob]:
+    """Interleaved MOSFET and MOSFET-free jobs across several topologies."""
+    jobs = []
+    for k in range(4):
+        jobs.append(rc_job(1e3, 50e-12 * (k + 1)))
+        jobs.append(inverter_job(80e-12 + 20e-12 * k))
+    jobs.append(rc_job(2e3, 100e-12, n_stages=5))  # singleton topology
+    return jobs
+
+
+def assert_equivalent(serial, sharded):
+    assert len(serial) == len(sharded)
+    worst = 0.0
+    for s, b in zip(serial, sharded):
+        # Identical ordering: each result must describe the same job.
+        assert s.node_names == b.node_names
+        assert s.times.shape == b.times.shape
+        np.testing.assert_array_equal(s.times, b.times)
+        for node in s.node_names:
+            worst = max(worst, float(np.max(np.abs(
+                s.voltage_samples(node) - b.voltage_samples(node)))))
+    assert worst < VOLTAGE_TOL, f"worst node deviation {worst:.3e} V"
+
+
+class TestShardedEquivalence:
+    def test_mixed_jobs_two_workers(self):
+        jobs = job_mix()
+        serial = simulate_transient_many(jobs)
+        sharded = run_jobs(jobs, ExecutionConfig(workers=2))
+        assert_equivalent(serial, sharded)
+
+    def test_mosfet_free_only(self):
+        jobs = [rc_job(1e3, 30e-12 * k) for k in range(6)]
+        serial = simulate_transient_many(jobs)
+        diag = {}
+        sharded = run_jobs(jobs, ExecutionConfig(workers=3), diag=diag)
+        assert diag["mode"] == "sharded" and diag["shards"] >= 2
+        assert diag["fallback_shards"] == 0
+        assert_equivalent(serial, sharded)
+
+    def test_mosfet_only(self):
+        jobs = [inverter_job(60e-12 + 30e-12 * k) for k in range(4)]
+        serial = simulate_transient_many(jobs)
+        sharded = run_jobs(jobs, ExecutionConfig(workers=2))
+        assert_equivalent(serial, sharded)
+
+    def test_workers_one_is_the_serial_engine(self):
+        jobs = job_mix()[:3]
+        diag = {}
+        results = run_jobs(jobs, ExecutionConfig(workers=1), diag=diag)
+        assert diag["mode"] == "serial" and diag["shards"] == 0
+        assert_equivalent(simulate_transient_many(jobs), results)
+
+    def test_varied_windows_truncate_per_job(self):
+        jobs = [rc_job(1e3, 20e-12, t_stop=0.4e-9 + 0.2e-9 * k)
+                for k in range(4)]
+        sharded = run_jobs(jobs, ExecutionConfig(workers=2))
+        for job, res in zip(jobs, sharded):
+            assert res.times[-1] == pytest.approx(job.t_stop, abs=job.dt)
+
+
+class TestShardScheduler:
+    def _mnas(self, jobs):
+        return [MnaSystem(j.circuit) for j in jobs]
+
+    def test_deterministic_and_complete(self):
+        jobs = job_mix()
+        mnas = self._mnas(jobs)
+        indices = list(range(len(jobs)))
+        a = make_shards(indices, jobs, mnas, 3)
+        b = make_shards(indices, jobs, mnas, 3)
+        assert a == b
+        flat = sorted(k for shard in a for k in shard)
+        assert flat == indices
+        assert len(a) <= 3
+
+    def test_large_group_is_split(self):
+        jobs = [rc_job(1e3, 10e-12 * k) for k in range(8)]
+        mnas = self._mnas(jobs)
+        shards = make_shards(list(range(8)), jobs, mnas, 2)
+        assert len(shards) == 2
+        assert sorted(len(s) for s in shards) == [4, 4]
+
+
+def _crashing_shard(jobs):  # module-level: picklable into the workers
+    raise RuntimeError("worker died")
+
+
+class TestWorkerCrashFallback:
+    def test_crashing_worker_falls_back_to_serial(self, monkeypatch):
+        jobs = job_mix()
+        serial = simulate_transient_many(jobs)
+        monkeypatch.setattr(pool_mod, "_simulate_shard", _crashing_shard)
+        diag = {}
+        results = run_jobs(jobs, ExecutionConfig(workers=2), diag=diag)
+        assert diag["fallback_shards"] == diag["shards"] >= 2
+        assert_equivalent(serial, results)
+
+    def test_pool_creation_failure_falls_back(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", no_pool)
+        jobs = [rc_job(1e3, 30e-12 * k) for k in range(4)]
+        diag = {}
+        results = run_jobs(jobs, ExecutionConfig(workers=2), diag=diag)
+        assert diag["mode"] == "serial" and diag["fallback_shards"] >= 1
+        assert_equivalent(simulate_transient_many(jobs), results)

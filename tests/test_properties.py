@@ -8,9 +8,13 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import TransientJob, TransientOptions
 from repro.core.ramp import SaturatedRamp
 from repro.core.techniques import fit_line_weighted
 from repro.core.waveform import Waveform
+from repro.exec import job_key
 from repro.library.nldm import NldmTable
 
 from tests.helpers import VDD
@@ -109,6 +113,55 @@ class TestWaveformProperties:
         r = w.resampled(n=n)
         assert r.v_initial == pytest.approx(w.v_initial, abs=1e-12)
         assert r.v_final == pytest.approx(w.v_final, abs=1e-12)
+
+    @given(waveforms())
+    @settings(max_examples=60, deadline=None)
+    def test_resample_onto_own_grid_roundtrips_exactly(self, w):
+        r = w.resampled(times=w.times)
+        assert np.array_equal(r.times, w.times)
+        assert np.array_equal(r.values, w.values)
+
+    @given(waveforms(), st.floats(min_value=-1e-9, max_value=1e-9))
+    @settings(max_examples=60, deadline=None)
+    def test_time_axis_stays_strictly_increasing(self, w, dt):
+        # Every constructor/transform output upholds the core invariant.
+        for out in (w, w.shifted(dt), w.resampled(n=7), w.derivative()):
+            assert np.all(np.diff(out.times) > 0)
+
+    @given(times_strategy, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_non_monotone_time_axis_is_rejected(self, t, data):
+        perm = data.draw(st.permutations(range(len(t))))
+        shuffled = [t[i] for i in perm]
+        values = [0.0] * len(t)
+        if shuffled == sorted(shuffled):
+            Waveform(shuffled, values)  # identity permutation: fine
+        else:
+            with pytest.raises(ValueError):
+                Waveform(shuffled, values)
+
+    @given(times_strategy, st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60, deadline=None)
+    def test_duplicate_sample_time_is_rejected(self, t, pick):
+        k = pick % (len(t) - 1)
+        dup = t[:k + 1] + [t[k]] + t[k + 1:]
+        with pytest.raises(ValueError):
+            Waveform(dup, [0.0] * len(dup))
+
+    @given(st.floats(min_value=1e-12, max_value=1e-9),
+           st.floats(min_value=0.0, max_value=5e-9),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_ramp_slew_measurement_roundtrips(self, slew, t_start, rising):
+        # Band traversal of a clean saturated ramp: the measured 10-90
+        # transition time recovers the constructor's slew, and the band
+        # is entered before it is exited (the invariant Waveform.slew
+        # enforces by raising on inverted traversals).
+        w = Waveform.ramp(t_start=t_start, slew=slew, vdd=VDD, rising=rising)
+        assert w.slew(VDD) == pytest.approx(slew, rel=1e-9, abs=1e-21)
+        assert w.slew(VDD, mode="clean") == pytest.approx(slew, rel=1e-9, abs=1e-21)
+        lo, hi = w.critical_region(VDD)
+        assert hi > lo
 
 
 # ----------------------------------------------------------------------
@@ -210,3 +263,60 @@ class TestNldmProperties:
         ld = table.loads[0] + fl * (table.loads[-1] - table.loads[0])
         val = table.lookup(float(s), float(ld))
         assert table.values.min() - 1e-15 <= val <= table.values.max() + 1e-15
+
+
+# ----------------------------------------------------------------------
+# Result-store key invariants
+# ----------------------------------------------------------------------
+_OPTION_VALUES = {
+    "abstol": [1e-6, 2e-6, 1e-7],
+    "max_newton": [40, 60, 80],
+    "max_halvings": [8, 10, 12],
+    "v_limit": [0.5, 0.6, 0.7],
+    "backend": ["auto", "dense", "banded", "sparse"],
+}
+_OPTION_FIELDS = {name: st.sampled_from(values)
+                  for name, values in _OPTION_VALUES.items()}
+
+
+def _store_job(options: TransientOptions,
+               initial: "dict[str, float] | None" = None) -> TransientJob:
+    c = Circuit("rc")
+    c.vsource("Vin", "a", "0", RampSource(50e-12, 100e-12, 0.0, VDD))
+    c.resistor("R1", "a", "b", 1e3)
+    c.capacitor("C1", "b", "0", 20e-15)
+    return TransientJob(c, t_stop=0.5e-9, dt=2e-12, options=options,
+                        initial_voltages=initial)
+
+
+class TestStoreKeyProperties:
+    @given(st.fixed_dictionaries(_OPTION_FIELDS), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_stable_under_option_kwarg_order(self, opts, data):
+        # Construct the same TransientOptions with the kwargs supplied in
+        # a permuted dict order: the key must not notice.
+        perm = data.draw(st.permutations(list(opts.items())))
+        a = _store_job(TransientOptions(**opts))
+        b = _store_job(TransientOptions(**dict(perm)))
+        assert job_key(a) == job_key(b)
+
+    @given(st.fixed_dictionaries(_OPTION_FIELDS),
+           st.sampled_from(sorted(_OPTION_FIELDS)))
+    @settings(max_examples=60, deadline=None)
+    def test_any_option_change_changes_the_key(self, opts, field):
+        alternatives = [v for v in _OPTION_VALUES[field] if v != opts[field]]
+        changed = dict(opts, **{field: alternatives[0]})
+        assert job_key(_store_job(TransientOptions(**opts))) != \
+            job_key(_store_job(TransientOptions(**changed)))
+
+    @given(st.dictionaries(st.sampled_from(["a", "b"]),
+                           st.floats(min_value=0.0, max_value=1.2,
+                                     allow_nan=False),
+                           max_size=2),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_key_is_stable_under_initial_voltage_order(self, initial, data):
+        perm = data.draw(st.permutations(list(initial.items())))
+        a = _store_job(TransientOptions(), initial=initial)
+        b = _store_job(TransientOptions(), initial=dict(perm))
+        assert job_key(a) == job_key(b)

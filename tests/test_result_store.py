@@ -1,0 +1,245 @@
+"""Result-store tests: accounting, key sensitivity, corruption recovery,
+eviction, and the warm-store zero-solve guarantee on ``run_table1``."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import (TransientJob, TransientOptions,
+                                     simulate_transient_many)
+from repro.core.techniques.sgdp import Sgdp
+from repro.exec import (ExecutionConfig, ResultStore, job_key, run_jobs,
+                        set_default_execution)
+from repro.exec import pool as pool_mod
+from repro.sta.noise_aware import clear_quiet_cache, quiet_cache_stats
+from repro.experiments.noise_injection import SweepTiming, iter_noise_cases
+from repro.experiments.setup import CONFIG_I
+from repro.experiments.table1 import run_table1
+
+
+def rc_job(r_ohm: float = 1e3, start: float = 50e-12, dt: float = 2e-12,
+           t_stop: float = 0.5e-9, abstol: float = 1e-6,
+           initial: dict | None = None, slew: float = 100e-12) -> TransientJob:
+    c = Circuit("rc")
+    c.vsource("Vin", "a", "0", RampSource(start, slew, 0.0, 1.2))
+    c.resistor("R1", "a", "b", r_ohm)
+    c.capacitor("C1", "b", "0", 20e-15)
+    return TransientJob(c, t_stop=t_stop, dt=dt,
+                        initial_voltages=initial,
+                        options=TransientOptions(abstol=abstol))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestAccounting:
+    def test_hit_miss_counters(self, store):
+        cfg = ExecutionConfig(store=store)
+        jobs = [rc_job(start=10e-12 * k) for k in range(3)]
+        cold = run_jobs(jobs, cfg)
+        assert (store.misses, store.stores, store.hits) == (3, 3, 0)
+        warm = run_jobs(jobs, cfg)
+        assert (store.misses, store.stores, store.hits) == (3, 3, 3)
+        for c, w in zip(cold, warm):
+            np.testing.assert_array_equal(c._x, w._x)
+            np.testing.assert_array_equal(c.times, w.times)
+            assert w.stats["source"] == "store"
+        assert store.stats()["entries"] == 3
+
+    def test_clear_resets_everything(self, store):
+        run_jobs([rc_job()], ExecutionConfig(store=store))
+        store.clear()
+        assert len(store) == 0
+        assert store.stats()["hits"] == store.stats()["misses"] == 0
+
+    def test_one_stats_surface_over_cache_and_store(self, store):
+        """quiet_cache_stats/clear_quiet_cache cover the default store;
+        the reset zeroes counters but preserves warmed entries."""
+        previous = set_default_execution(ExecutionConfig(store=store))
+        try:
+            run_jobs([rc_job()])  # default execution → the store
+            assert quiet_cache_stats()["store"]["misses"] == 1
+            clear_quiet_cache()
+            stats = quiet_cache_stats()["store"]
+            assert stats["misses"] == 0
+            assert stats["entries"] == 1, "entries must survive a stats reset"
+            clear_quiet_cache(drop_store_entries=True)
+            assert quiet_cache_stats()["store"]["entries"] == 0
+        finally:
+            set_default_execution(previous)
+
+
+class TestKeySensitivity:
+    def test_every_component_keys_the_entry(self):
+        base = job_key(rc_job())
+        changed = {
+            "topology": rc_job(r_ohm=2e3),
+            "source": rc_job(start=60e-12),
+            "source-shape": rc_job(slew=120e-12),
+            "grid-dt": rc_job(dt=1e-12),
+            "grid-stop": rc_job(t_stop=0.6e-9),
+            "options": rc_job(abstol=1e-7),
+            "initial-voltages": rc_job(initial={"b": 0.1}),
+        }
+        for label, job in changed.items():
+            assert job_key(job) != base, f"{label} change must change the key"
+
+    def test_use_ic_changes_key(self):
+        job = rc_job()
+        assert job_key(dataclasses.replace(job, use_ic=True)) != job_key(job)
+
+    def test_initial_voltage_dict_order_is_irrelevant(self):
+        a = rc_job(initial={"a": 0.0, "b": 0.1})
+        b = rc_job(initial={"b": 0.1, "a": 0.0})
+        assert job_key(a) == job_key(b)
+
+    def test_equal_jobs_share_a_key(self):
+        assert job_key(rc_job()) == job_key(rc_job())
+
+    def test_unfingerprintable_source_is_uncacheable_not_fatal(self, store):
+        """A source without content_fingerprint must make the job skip
+        the store (counted), never crash or mis-key the run."""
+        from repro.circuit.sources import SourceFunction
+
+        class Sine(SourceFunction):
+            def __call__(self, t):
+                return 0.5 + 0.5 * np.sin(2e9 * np.asarray(t))
+
+        c = Circuit("sine-rc")
+        c.vsource("Vin", "a", "0", Sine())
+        c.resistor("R1", "a", "b", 1e3)
+        c.capacitor("C1", "b", "0", 20e-15)
+        job = TransientJob(c, t_stop=0.2e-9, dt=2e-12)
+
+        assert store.key_for(job) is None
+        assert store.uncacheable == 1
+        cfg = ExecutionConfig(store=store)
+        first = run_jobs([job], cfg)[0]
+        again = run_jobs([job], cfg)[0]
+        np.testing.assert_array_equal(first._x, again._x)
+        assert store.stores == 0 and len(store) == 0
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_entry_is_evicted_and_resimulated(self, store):
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        clean = run_jobs([job], cfg)[0]
+        key = store.key_for(job)
+        path = store._path(key)
+        path.write_bytes(b"this is not an npz file")
+
+        recovered = run_jobs([job], cfg)[0]
+        assert store.corrupt == 1
+        np.testing.assert_array_equal(clean._x, recovered._x)
+        # The rewritten entry is healthy again.
+        assert run_jobs([job], cfg)[0].stats["source"] == "store"
+        assert store.corrupt == 1
+
+    def test_store_write_failure_does_not_discard_results(self, store, monkeypatch):
+        """Persistence is an optimisation: a failing disk degrades to an
+        uncached run instead of aborting after the solves succeeded."""
+        def full_disk(key, result):
+            raise OSError("no space left on device")
+        monkeypatch.setattr(store, "store", full_disk)
+        job = rc_job()
+        results = run_jobs([job], ExecutionConfig(store=store))
+        assert len(results) == 1 and store.write_errors == 1
+        np.testing.assert_array_equal(results[0]._x, job.run()._x)
+
+    def test_shape_mismatch_counts_as_corrupt(self, store):
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        run_jobs([job], cfg)
+        key = store.key_for(job)
+        with open(store._path(key), "wb") as f:
+            np.savez(f, times=np.arange(5.0), x=np.zeros((4, 99)))
+        assert store.lookup(key, job) is None
+        assert store.corrupt == 1
+        assert not store._path(key).exists()
+
+
+class TestEviction:
+    def test_lru_eviction_under_size_budget(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        jobs = [rc_job(start=10e-12 * k) for k in range(3)]
+        run_jobs([jobs[0]], ExecutionConfig(store=probe))
+        entry_bytes = probe.stats()["bytes"]
+
+        store = ResultStore(tmp_path / "store", max_bytes=int(2.5 * entry_bytes))
+        cfg = ExecutionConfig(store=store)
+        run_jobs([jobs[0]], cfg)
+        time.sleep(0.02)
+        run_jobs([jobs[1]], cfg)
+        time.sleep(0.02)
+        # Touch job 0 (hit) so job 1 is now the least recently used.
+        run_jobs([jobs[0]], cfg)
+        time.sleep(0.02)
+        run_jobs([jobs[2]], cfg)  # over budget: evicts job 1
+
+        assert store.evictions == 1
+        assert len(store) == 2
+        hits_before = store.hits
+        run_jobs([jobs[0], jobs[2]], cfg)
+        assert store.hits == hits_before + 2  # survivors
+        run_jobs([jobs[1]], cfg)
+        assert store.stores == 4  # job 1 was re-simulated and re-stored
+
+
+def _counting(monkeypatch):
+    calls = {"jobs": 0}
+    real = simulate_transient_many
+
+    def counted(jobs, *args, **kwargs):
+        calls["jobs"] += len(jobs)
+        return real(jobs, *args, **kwargs)
+
+    monkeypatch.setattr(pool_mod, "simulate_transient_many", counted)
+    return calls
+
+
+class TestWarmTable1:
+    def test_warm_rerun_performs_zero_transient_solves(self, store, monkeypatch):
+        calls = _counting(monkeypatch)
+        cfg = ExecutionConfig(store=store)
+        timing = SweepTiming(victim_start=0.4e-9, window=0.4e-9,
+                             t_stop=1.4e-9, dt=4e-12)
+        kwargs = dict(n_cases=2, timing=timing, techniques=[Sgdp()],
+                      execution=cfg)
+
+        cold = run_table1(CONFIG_I, **kwargs)
+        cold_solves = calls["jobs"]
+        assert cold_solves > 0
+        assert store.hits == 0 and store.stores == cold_solves
+
+        calls["jobs"] = 0
+        warm = run_table1(CONFIG_I, **kwargs)
+        assert calls["jobs"] == 0, "warm store must satisfy every simulation"
+        assert store.hits == cold_solves
+
+        # Exact — not approximate — agreement with the cold run.
+        assert warm == cold
+
+    def test_iter_noise_cases_honours_shared_execution(self, store, monkeypatch):
+        """The iterator must run through the shared ExecutionConfig, not
+        a private per-case default — a warm store feeds it for free."""
+        calls = _counting(monkeypatch)
+        cfg = ExecutionConfig(store=store)
+        timing = SweepTiming(victim_start=0.4e-9, window=0.4e-9,
+                             t_stop=1.2e-9, dt=4e-12)
+        first = list(iter_noise_cases(CONFIG_I, 2, timing, execution=cfg))
+        assert calls["jobs"] == 2 and store.stores == 2
+        calls["jobs"] = 0
+        again = list(iter_noise_cases(CONFIG_I, 2, timing, execution=cfg))
+        assert calls["jobs"] == 0 and store.hits == 2
+        for a, b in zip(first, again):
+            assert a.offsets == b.offsets
+            assert a.golden_output_arrival == b.golden_output_arrival
