@@ -54,8 +54,11 @@ def timing():
 
 def _time_table1(n_cases, timing, execution):
     t0 = time.perf_counter()
+    # Fixed-grid stepping pinned so the artifact measures the shard
+    # scheduler under a stable workload regardless of REPRO_ADAPTIVE
+    # (the adaptive engine has its own gate in test_adaptive_speedup.py).
     result = run_table1(CONFIG_I, n_cases=n_cases, timing=timing,
-                        execution=execution)
+                        execution=execution, adaptive=False)
     return result, time.perf_counter() - t0
 
 

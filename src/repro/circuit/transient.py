@@ -28,20 +28,71 @@ Python cost across those variants:
   and solver options); each compatible group runs through the batched
   engine, singleton groups fall back to the scalar path.
 
-Both return results numerically equivalent to running
+In fixed-grid mode both return results numerically equivalent to running
 :func:`simulate_transient` per variant: the batched Newton iteration
 freezes converged variants and applies the same per-variant convergence
 and voltage-limiting tests as the scalar loop, and a variant whose step
 fails to converge falls back to the scalar recursive step-halving path on
 its own.  Variants may have different ``t_stop`` values (sharing
-``t_start``/``dt``); each result is truncated to its own window.
+``t_start``/``dt``); each result is truncated to its own window.  (For
+the adaptive mode's batched-vs-scalar contract see *Adaptive time
+stepping* below.)
+
+Adaptive time stepping
+----------------------
+``TransientOptions(adaptive=True)`` switches both engines to
+local-truncation-error-controlled step selection.  The solver still
+*lives on* the caller's base grid — every accepted time point is
+``t_start + k·dt`` for an integer ``k``, so adaptive results are a
+sub-grid of the fixed-grid reference — but in quiet stretches it takes
+strides of ``2**level`` base steps at a time.  Acceptance is governed by
+a predictor/corrector difference: the trapezoidal solution of each trial
+step is compared against the linear extrapolation of the two previous
+accepted points, weighted by ``lte_atol + lte_rtol·|v|`` per node.  A
+trial stride whose estimate exceeds the tolerance is rejected and
+retried shorter (shrink is immediate and proportional); strides grow one
+rung at a time only after ``_GROW_AFTER`` consecutive accepted steps
+whose estimate stayed below ``_GROW_FRACTION`` of the tolerance — a
+PI-flavoured controller: proportional shrink, integrating growth.
+
+Base-``dt`` steps are always accepted (the fixed grid is the accuracy
+reference; adaptive mode must never be *worse* than it): up to the
+first grown stride the adaptive run is bit-identical to the fixed grid,
+and later base-stepped stretches apply the identical per-step Newton
+recursion from a state within the LTE tolerance of the fixed-grid one.  Growth is additionally fenced by *source barriers* —
+base-grid indices of every significant stimulus corner (PWL/ramp
+corners, the active span of sampled-waveform sources) — which a stride
+may never cross: landing on a barrier resets the ladder, so a late
+aggressor can never be stepped over and sharp activity onsets always
+restart at base resolution.  Between corners the LTE tests alone govern
+the stride — a long, gentle slew whose response passes them may be
+strided over (still within tolerance) — while the fast transitions of
+the experiments hold the engine at base ``dt``, and the grown strides
+concentrate in the settled tails that dominate ``t_stop ≫ transition``
+windows.
+
+In the batched engine the whole group advances in lockstep on the
+minimum accepted stride (one variant's rejection shrinks the step for
+all), which keeps the stacked solves and the step-matrix cache shared.
+Consequence: a job's accepted grid depends on its group membership, so
+batched-vs-scalar equivalence in adaptive mode is "both within the LTE
+tolerance of the golden fixed grid" (pinned by the golden-grid harness
+in ``tests/test_adaptive_stepping.py``) rather than the fixed-grid
+engines' <1e-9 V contract.  The shard scheduler keeps adaptive groups
+whole for the same reason, which preserves the sharded ≡ serial
+equivalence bit for bit.
 
 Matrix caching
 --------------
 The linear system matrix with capacitor companion conductances is constant
-per step size.  It is cached *keyed on the halving depth* (``h = dt /
-2**depth``) — not on the floating-point step value, which drifts under
-repeated halving and can miss the cache.  For MOSFET-free circuits
+per step size.  It is cached keyed on the *quantised step value*: every
+step the engines take is ``dt·m`` for a small integer or ``dt/2**depth``
+from halving — exact binary/ladder scalings of the base step, so equal
+steps produce bit-identical keys and repeated halvings (or repeated
+strides at one ladder rung) hit the cache deterministically.  The cache
+is a bounded LRU (``_STEP_CACHE_ENTRIES``), since the adaptive ladder
+plus barrier-clamped strides can visit more step sizes than the
+fixed-grid engine's halving depths.  For MOSFET-free circuits
 (RC/interconnect networks) the cached entry also carries a factorisation
 that is reused across all steps and variants.
 
@@ -76,6 +127,9 @@ capacitor count.
 from __future__ import annotations
 
 import copy
+import math
+import os
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 from dataclasses import replace as _dc_replace
@@ -100,11 +154,27 @@ __all__ = [
     "simulate_transient_batch",
     "simulate_transient_many",
     "job_group_key",
+    "resolve_adaptive",
 ]
 
 
 class ConvergenceError(RuntimeError):
     """Raised when Newton iteration fails even after step halving."""
+
+
+def resolve_adaptive(flag: "bool | None" = None) -> bool:
+    """Resolve an adaptive-stepping request against the environment.
+
+    ``True``/``False`` pass through; ``None`` means "let the environment
+    decide": the ``REPRO_ADAPTIVE`` variable (``1``/``true``/``yes``/
+    ``on``) enables LTE-controlled stepping for every driver that did
+    not pin a mode explicitly.  Read per call so tests can monkeypatch
+    the environment.
+    """
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get("REPRO_ADAPTIVE", "").strip().lower() in (
+        "1", "true", "yes", "on")
 
 
 @dataclass(frozen=True)
@@ -126,6 +196,23 @@ class TransientOptions:
         (default — selected from the topology's sparsity pattern, see
         the module docstring), or force ``"dense"`` / ``"sparse"`` /
         ``"banded"``.  MOSFET circuits always solve dense.
+    adaptive:
+        ``True`` enables LTE-controlled adaptive time stepping (see the
+        module docstring).  The result then lives on a non-uniform
+        sub-grid of the base ``dt`` grid.
+    lte_rtol, lte_atol:
+        Per-node weight of the local-truncation-error test: a trial
+        stride is accepted when the predictor/corrector difference stays
+        below ``lte_atol + lte_rtol·|v|`` everywhere.  The defaults keep
+        adaptive runs within ~1e-6·Vdd of the fixed grid.
+    max_step:
+        Upper bound on a grown step (seconds); ``0.0`` (default) means
+        ``dt · 2**_DEFAULT_GROWTH_RUNGS``.  The base ``dt`` is the floor
+        of every step, so a positive value below ``dt`` is rejected at
+        simulation time.
+    min_step:
+        Lower bound on Newton-failure step halving (seconds); ``0.0``
+        (default) leaves ``max_halvings`` as the only floor.
     """
 
     abstol: float = 1e-6
@@ -133,11 +220,20 @@ class TransientOptions:
     max_halvings: int = 10
     v_limit: float = 0.6
     backend: str = "auto"
+    adaptive: bool = False
+    lte_rtol: float = 5e-7
+    lte_atol: float = 2e-7
+    max_step: float = 0.0
+    min_step: float = 0.0
 
     def __post_init__(self) -> None:
         require(self.backend in BACKENDS,
                 f"unknown solver backend {self.backend!r}; "
                 f"expected one of {BACKENDS}")
+        require(self.lte_rtol >= 0.0, "lte_rtol must be non-negative")
+        require(self.lte_atol > 0.0, "lte_atol must be positive")
+        require(self.max_step >= 0.0, "max_step must be non-negative")
+        require(self.min_step >= 0.0, "min_step must be non-negative")
 
 
 class TransientResult:
@@ -145,7 +241,17 @@ class TransientResult:
 
     Access node waveforms with :meth:`waveform` or dictionary-style with
     :meth:`voltage_samples`.  ``stats`` carries solver diagnostics
-    (``newton_iters``, ``halvings``, ``matrix_builds``, ``batch_size``).
+    (``newton_iters``, ``halvings``, ``matrix_builds``, ``batch_size``;
+    adaptive runs add ``adaptive``/``lte_rejects``).
+
+    The time axis is *not* necessarily uniform: LTE-controlled runs
+    (``TransientOptions.adaptive``) report the accepted non-uniform
+    sub-grid of the base step.  Every accessor is grid-agnostic —
+    :meth:`waveform` returns a piecewise-linear record over the actual
+    sample times, :meth:`final_voltages` and :meth:`branch_current` read
+    rows directly, and :meth:`voltages_at` resamples a node onto any
+    axis.  Consumers that assume a constant spacing should consult
+    :attr:`uniform_grid` / :meth:`step_sizes` first.
     """
 
     def __init__(self, mna: MnaSystem, times: np.ndarray, solutions: np.ndarray,
@@ -180,6 +286,28 @@ class TransientResult:
         """Node → final voltage map (useful as the next run's initial state)."""
         return {name: float(self._x[-1, self._mna.node_index[name]])
                 for name in self._mna.node_names}
+
+    @property
+    def uniform_grid(self) -> bool:
+        """True when all sample spacings are (numerically) equal."""
+        steps = self.step_sizes()
+        if steps.size <= 1:
+            return True
+        return bool(np.allclose(steps, steps[0], rtol=1e-9, atol=0.0))
+
+    def step_sizes(self) -> np.ndarray:
+        """The accepted step sizes (``np.diff`` of the time axis)."""
+        return np.diff(self.times)
+
+    def voltages_at(self, node: str, times: np.ndarray) -> np.ndarray:
+        """Node voltages linearly resampled onto an arbitrary time axis.
+
+        The common-axis accessor of the golden-grid comparisons: adaptive
+        and fixed-grid results of the same circuit can be differenced on
+        any shared grid regardless of their native sampling.
+        """
+        return np.interp(np.asarray(times, dtype=np.float64),
+                         self.times, self.voltage_samples(node))
 
 
 @dataclass(frozen=True)
@@ -262,15 +390,26 @@ def _cap_voltages(mna: MnaSystem, x: np.ndarray) -> np.ndarray:
 _SPARSE_CAP_CELLS = 32768
 
 
-class _StepMatrixCache:
-    """Companion-stamped matrices per halving depth (``h = dt / 2**depth``).
+#: Bound on live `_StepMatrixCache` entries.  The fixed-grid engine only
+#: ever visits `max_halvings + 1` step sizes; the adaptive ladder plus
+#: barrier-clamped strides can visit more, so entries are LRU-evicted
+#: past this count (factorisations for revisited rungs rebuild cheaply).
+_STEP_CACHE_ENTRIES = 16
 
-    Keying on the integer depth instead of the floating-point step value
-    makes repeated halvings hit the cache deterministically.  For
-    MOSFET-free circuits each entry carries a factorisation — dense,
-    banded or sparse LU, resolved once per topology from the sparsity
-    pattern (see the module docstring) — reused by every step (and every
-    batch variant) at that depth.
+
+class _StepMatrixCache:
+    """Companion-stamped matrices keyed on the quantised step value.
+
+    Every step either engine takes is an exact scaling of the base step
+    — ``dt·m`` for an integer stride of the adaptive ladder, ``dt/2**k``
+    from Newton-failure halving — so equal steps reproduce bit-identical
+    ``h`` floats and the float key is deterministic (the pre-adaptive
+    cache keyed on the integer halving depth, which the growth ladder
+    cannot express).  Entries are LRU-bounded at
+    :data:`_STEP_CACHE_ENTRIES`.  For MOSFET-free circuits each entry
+    carries a factorisation — dense, banded or sparse LU, resolved once
+    per topology from the sparsity pattern (see the module docstring) —
+    reused by every step (and every batch variant) at that step size.
     """
 
     def __init__(self, mna: MnaSystem, dt: float, backend: str = "auto"):
@@ -283,7 +422,8 @@ class _StepMatrixCache:
         self._structure = mna.structure(include_caps=True) \
             if self._factorize and backend in ("auto", "banded") else None
         self.backend = select_backend(self._structure, mna.n_mosfets, backend)
-        self._entries: dict[int, tuple[np.ndarray, object | None, float]] = {}
+        self._entries: "OrderedDict[float, tuple[np.ndarray, object | None, float]]" \
+            = OrderedDict()
         self.builds = 0
         # Padded-gather indices: ground terminals read the zero pad column.
         self._gi = np.where(mna.cap_i >= 0, mna.cap_i, mna.size)
@@ -316,17 +456,25 @@ class _StepMatrixCache:
             return x @ self._cap_s  # S is symmetric
         return (self._cap_s @ x.T).T
 
-    def get(self, depth: int) -> tuple[np.ndarray, object | None, float]:
-        """Return ``(a_base, solver_or_None, h)`` for a halving depth."""
-        entry = self._entries.get(depth)
+    @property
+    def base_dt(self) -> float:
+        """The caller's base step (the quantisation unit of the ladder)."""
+        return self._dt
+
+    def get_h(self, h: float) -> tuple[np.ndarray, object | None, float]:
+        """Return ``(a_base, solver_or_None, h)`` for a step value."""
+        entry = self._entries.get(h)
         if entry is None:
-            h = self._dt * (0.5 ** depth)  # exact: equals repeated halving
             a = _cap_stamp_matrix(self.mna, self.mna.g_lin.copy(), h)
             solver = factorize(a, self.backend, self._structure) \
                 if self._factorize else None
             entry = (a, solver, h)
-            self._entries[depth] = entry
+            self._entries[h] = entry
             self.builds += 1
+            while len(self._entries) > _STEP_CACHE_ENTRIES:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(h)
         return entry
 
     def cap_gather(self, x: np.ndarray) -> np.ndarray:
@@ -415,12 +563,20 @@ def _advance_scalar(
     x_prev: np.ndarray,
     i_cap_prev: np.ndarray,
     t_prev: float,
-    depth: int,
+    h: float,
     opts: TransientOptions,
     stats: dict,
+    halvings_left: "int | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """One trapezoidal step from ``t_prev`` over ``dt / 2**depth``."""
-    a_base, solver, h = cache.get(depth)
+    """One trapezoidal step of size ``h`` from ``t_prev``.
+
+    ``halvings_left`` budgets the recursive Newton-failure halving
+    (defaults to ``opts.max_halvings``); ``opts.min_step`` additionally
+    floors the halved step size.
+    """
+    if halvings_left is None:
+        halvings_left = opts.max_halvings
+    a_base, solver, h = cache.get_h(h)
     geq = 2.0 * mna.cap_c / h
     vcap_prev = _cap_voltages(mna, x_prev)
     ieq = geq * vcap_prev + i_cap_prev
@@ -436,15 +592,16 @@ def _advance_scalar(
     else:
         x_new = _newton_solve(mna, a_base, rhs, x_prev, opts, stats)
     if x_new is None:
-        if depth >= opts.max_halvings:
+        if halvings_left <= 0 or (opts.min_step > 0.0
+                                  and h / 2 < opts.min_step):
             raise ConvergenceError(
                 f"Newton failed at t={t_prev + h:.4e}s even at dt={h:.2e}s"
             )
         stats["halvings"] += 1
         x_mid, i_mid = _advance_scalar(mna, cache, x_prev, i_cap_prev, t_prev,
-                                       depth + 1, opts, stats)
+                                       h / 2, opts, stats, halvings_left - 1)
         return _advance_scalar(mna, cache, x_mid, i_mid, t_prev + h / 2,
-                               depth + 1, opts, stats)
+                               h / 2, opts, stats, halvings_left - 1)
     i_cap_new = geq * _cap_voltages(mna, x_new) - ieq
     return x_new, i_cap_new
 
@@ -502,7 +659,7 @@ def _simulate_scalar(
 
     for step in range(n_steps):
         x, i_cap = _advance_scalar(mna, cache, x, i_cap, float(times[step]),
-                                   0, opts, stats)
+                                   dt, opts, stats)
         solutions[step + 1] = x
 
     stats["matrix_builds"] = cache.builds
@@ -549,9 +706,15 @@ def simulate_transient(
     ConvergenceError
         If a time step cannot be converged even after step halving.
     """
-    return _simulate_scalar(circuit, MnaSystem(circuit), t_stop, dt, t_start,
-                            initial_voltages, use_ic,
-                            options or TransientOptions())
+    opts = options or TransientOptions()
+    mna = MnaSystem(circuit)
+    if opts.adaptive:
+        job = TransientJob(circuit=circuit, t_stop=t_stop, dt=dt,
+                           t_start=t_start, initial_voltages=initial_voltages,
+                           use_ic=use_ic, options=opts)
+        return _simulate_adaptive([job], [mna])[0]
+    return _simulate_scalar(circuit, mna, t_stop, dt, t_start,
+                            initial_voltages, use_ic, opts)
 
 
 def _advance_batch(
@@ -581,7 +744,7 @@ def _advance_batch(
     ``(x_new, ieq_new)``.
     """
     mna0 = cache.mna
-    a_base, _, h = cache.get(0)
+    a_base, _, h = cache.get_h(cache.base_dt)
     geq = 2.0 * mna0.cap_c / h
     if mna0.n_caps:
         rhs += cache.cap_scatter(ieq_prev)
@@ -599,9 +762,11 @@ def _advance_batch(
             # Recover the scalar-path state (i_cap) from the threaded ieq.
             i_cap_pos = ieq_prev[pos] - geq * _cap_voltages(mna0, x_prev[pos])
             x_mid, i_mid = _advance_scalar(mnas[pos], cache, x_prev[pos],
-                                           i_cap_pos, t_prev, 1, opts, stats)
+                                           i_cap_pos, t_prev, h / 2, opts,
+                                           stats, opts.max_halvings - 1)
             x_fin, i_fin = _advance_scalar(mnas[pos], cache, x_mid, i_mid,
-                                           t_prev + h / 2, 1, opts, stats)
+                                           t_prev + h / 2, h / 2, opts,
+                                           stats, opts.max_halvings - 1)
             x_new[pos] = x_fin
             fallback.append((int(pos), i_fin))
     ieq_new = 2.0 * geq * cache.cap_gather(x_new) - ieq_prev
@@ -612,9 +777,17 @@ def _advance_batch(
     return x_new, ieq_new
 
 
-def _simulate_group(jobs: Sequence[TransientJob],
-                    mnas: Sequence[MnaSystem]) -> list[TransientResult]:
-    """Batched engine for topology-compatible jobs (shared t_start/dt/options)."""
+def _group_setup(jobs: Sequence[TransientJob], mnas: Sequence[MnaSystem]):
+    """Shared preamble of the fixed-grid and adaptive group engines.
+
+    Validates every job's window, solves the group's initial states in
+    one stacked DC pass (or applies UIC seeds — grouping guarantees a
+    uniform ``use_ic`` flag), and precomputes the compact source series
+    for every full base step — on the structurally nonzero rhs rows only
+    (the full ``(B, T, size)`` series would be O(T · size) mostly-zero
+    memory).  Returns ``(opts, steps_arr, times, x, src_cols,
+    src_vals)``.
+    """
     job0 = jobs[0]
     mna0 = mnas[0]
     dt = job0.dt
@@ -633,8 +806,6 @@ def _simulate_group(jobs: Sequence[TransientJob],
     times = t_start + dt * np.arange(n_max + 1)
 
     batch = len(jobs)
-    # Initial states: one stacked DC pass over the whole group (grouping
-    # guarantees a uniform use_ic flag across the jobs).
     if job0.use_ic:
         x = np.zeros((batch, mna0.size))
         for b, job in enumerate(jobs):
@@ -646,20 +817,34 @@ def _simulate_group(jobs: Sequence[TransientJob],
             mnas=mnas, backend=opts.backend)
         x = np.stack([r.solution for r in dc])
 
+    src_cols = mna0.source_rhs_columns()
+    src_vals = np.empty((batch, n_max, src_cols.size))
+    for b, mna in enumerate(mnas):
+        src_vals[b] = mna.source_rhs_series_compact(times[1:], src_cols)[1]
+    return opts, steps_arr, times, x, src_cols, src_vals
+
+
+def _simulate_group(jobs: Sequence[TransientJob],
+                    mnas: Sequence[MnaSystem]) -> list[TransientResult]:
+    """Batched engine for topology-compatible jobs (shared t_start/dt/options)."""
+    job0 = jobs[0]
+    mna0 = mnas[0]
+    opts0 = job0.options or TransientOptions()
+    if opts0.adaptive:
+        return _simulate_adaptive(jobs, mnas)
+    dt = job0.dt
+    opts, steps_arr, times, x, src_cols, src_vals = _group_setup(jobs, mnas)
+    n_steps = steps_arr.tolist()
+    n_max = int(steps_arr.max())
+
+    batch = len(jobs)
     solutions = np.empty((batch, n_max + 1, mna0.size))
     solutions[:, 0] = x
     cache = _StepMatrixCache(mna0, dt, backend=opts.backend)
     stats = _new_stats(batch_size=batch, backend=cache.backend)
 
-    # Source values for every full step, vectorised over time up front —
-    # compactly, on the structurally nonzero rhs rows only (the full
-    # (B, T, size) series would be O(T · size) mostly-zero memory);
-    # halved substeps (rare) evaluate their intermediate times on demand.
-    src_cols = mna0.source_rhs_columns()
-    src_vals = np.empty((batch, n_max, src_cols.size))
-    for b, mna in enumerate(mnas):
-        src_vals[b] = mna.source_rhs_series_compact(times[1:], src_cols)[1]
-
+    # Halved substeps (rare) evaluate their intermediate source times on
+    # demand; full steps read the precomputed compact series.
     def step_rhs(rows: np.ndarray | None, step: int) -> np.ndarray:
         vals = src_vals[:, step] if rows is None else src_vals[rows, step]
         rhs = np.zeros((vals.shape[0], mna0.size))
@@ -672,7 +857,7 @@ def _simulate_group(jobs: Sequence[TransientJob],
     # regardless of the capacitor count.  Nonlinear groups thread the
     # per-capacitor companion currents ieq₀ = geq·v_cap(x₀) instead,
     # which the scalar step-halving fallback needs.
-    _, solver0, h0 = cache.get(0)
+    _, solver0, h0 = cache.get_h(cache.base_dt)
     linear = solver0 is not None
     if linear:
         state = cache.cap_s_matvec(x)
@@ -713,6 +898,272 @@ def _simulate_group(jobs: Sequence[TransientJob],
                         solutions[b, : n_steps[b] + 1], stats=stats)
         for b in range(batch)
     ]
+
+
+# ----------------------------------------------------------------------
+# Adaptive (LTE-controlled) stepping
+# ----------------------------------------------------------------------
+
+#: Consecutive calm accepted steps before the stride ladder climbs a rung.
+_GROW_AFTER = 2
+#: "Calm" growth margins per estimator order: the curvature (sag) term
+#: scales ~quadratically with the stride (1/4 → at most the full weight
+#: after one doubling), the truncation term ~cubically (1/20 → ~2.5x
+#: margin after one doubling).
+_GROW_FRACTION_SAG = 0.25
+_GROW_FRACTION_LTE = 0.05
+#: Ladder cap when ``TransientOptions.max_step`` is unset: dt · 2**8.
+_DEFAULT_GROWTH_RUNGS = 8
+
+
+def _source_barrier_steps(
+    jobs: Sequence[TransientJob], t_start: float, dt: float, n_max: int,
+    opts: TransientOptions,
+) -> set[int]:
+    """Base-grid step indices a grown stride may not cross.
+
+    Every corner of every stimulus whose adjacent segment actually moves
+    the value (beyond a tolerance *relative to that source's own span*)
+    is a barrier: the engine lands on it and resumes at base resolution,
+    so a stride can never skip a stimulus edge the LTE estimator — which
+    only sees the *solution* history — has not noticed yet.  The
+    relative form keeps the test unit-free: a microampere current glitch
+    into a high-impedance node is as significant as a volt-scale ramp,
+    so both fence off their active span.  Dense sampled-record sources
+    (quiet leads, settled tails) compress automatically: their
+    sub-tolerance segments mark nothing.
+    """
+    marks: set[int] = set()
+    for job in jobs:
+        for elem in list(job.circuit.vsources) + list(job.circuit.isources):
+            src = elem.source
+            bps = src.breakpoints
+            if not bps:
+                continue
+            t = np.asarray(bps, dtype=np.float64)
+            v = np.asarray(src(t), dtype=np.float64)
+            span = float(v.max() - v.min())
+            if span <= 0.0:
+                continue
+            tol = (opts.lte_atol + opts.lte_rtol) * span
+            moving = np.abs(np.diff(v)) > tol
+            keep = np.zeros(t.size, dtype=bool)
+            keep[:-1] |= moving
+            keep[1:] |= moving
+            for tb in t[keep]:
+                k = int(round((tb - t_start) / dt))
+                if 0 < k <= n_max:
+                    marks.add(k)
+    return marks
+
+
+def _simulate_adaptive(jobs: Sequence[TransientJob],
+                       mnas: Sequence[MnaSystem]) -> list[TransientResult]:
+    """LTE-controlled engine for one batch-compatible group (B ≥ 1).
+
+    Accepted time points are a sub-grid of the fixed base grid
+    (``t_start + k·dt``); in lockstep the whole group advances on the
+    minimum accepted stride.  See the module docstring for the
+    controller and barrier rules.
+    """
+    job0 = jobs[0]
+    mna0 = mnas[0]
+    dt = job0.dt
+    t_start = job0.t_start
+    batch = len(jobs)
+    opts0 = job0.options or TransientOptions()
+    require(opts0.max_step == 0.0 or opts0.max_step >= dt,
+            f"max_step ({opts0.max_step:.3e}s) below the base step "
+            f"({dt:.3e}s) cannot bound anything: the base grid is the "
+            f"floor of every step")
+
+    # Shared preamble (validation, stacked initial states, compact source
+    # series on the full base grid — the engine only ever lands on
+    # base-grid points, so accepted strides index into that series).
+    opts, steps_arr, times, x, src_cols, src_vals = _group_setup(jobs, mnas)
+    n_steps = steps_arr.tolist()
+    n_max = int(steps_arr.max())
+
+    cache = _StepMatrixCache(mna0, dt, backend=opts.backend)
+    stats = _new_stats(batch_size=batch, backend=cache.backend,
+                       adaptive=True, lte_rejects=0, newton_rejects=0)
+
+    if opts.max_step > 0.0:
+        rung_cap = 0 if opts.max_step < 2.0 * dt else \
+            int(math.floor(math.log2(opts.max_step / dt)))
+    else:
+        rung_cap = _DEFAULT_GROWTH_RUNGS
+
+    source_marks = _source_barrier_steps(jobs, t_start, dt, n_max, opts)
+    barrier_arr = np.array(sorted(source_marks | set(n_steps) | {n_max}),
+                           dtype=np.int64)
+
+    n_nodes = mna0.n_nodes
+    i_cap = np.zeros((batch, mna0.n_caps))
+    accepted = [0]
+    sols = [x.copy()]
+    alive = np.arange(batch)
+    idx = 0          # current base-grid position
+    level = 0        # stride ladder rung: stride target is 2**level steps
+    calm = 0         # consecutive calm accepted steps (growth integrator)
+    # Two accepted history points back the third-order LTE estimate:
+    # (solution before the last stride, its length) and the pair before.
+    hist1: "tuple[np.ndarray, float] | None" = None
+    hist2: "tuple[np.ndarray, float] | None" = None
+    bpos = 0
+
+    while idx < n_max:
+        if steps_arr[alive].min() <= idx:
+            alive = alive[steps_arr[alive] > idx]
+            hist1 = hist2 = None  # membership changed: history invalid
+        while barrier_arr[bpos] <= idx:
+            bpos += 1
+        nb = int(barrier_arr[bpos])
+        # Without two history points (start, barrier landing, membership
+        # change) there is no LTE estimate: take base steps to rebuild.
+        m = 1 if hist2 is None else min(1 << level, nb - idx)
+        t_prev = float(times[idx])
+        full = alive.size == batch
+        x_al = x if full else x[alive]
+        ic_al = i_cap if full else i_cap[alive]
+
+        while True:
+            h = dt * m if m > 1 else dt
+            a_base, solver, h = cache.get_h(h)
+            geq = 2.0 * mna0.cap_c / h
+            ieq = geq * cache.cap_gather(x_al) + ic_al
+            rhs = np.zeros((alive.size, mna0.size))
+            rhs[:, src_cols] = src_vals[:, idx + m - 1] if full \
+                else src_vals[alive, idx + m - 1]
+            if mna0.n_caps:
+                rhs += cache.cap_scatter(ieq)
+            fallback: list[tuple[int, np.ndarray]] = []
+            if solver is not None:
+                x_cand = solver.solve(rhs)
+                ok_all = True
+            elif alive.size == 1:
+                # Scalar Newton for singleton groups: same iterates as
+                # the stacked loop without its broadcasting overhead.
+                x_one = _newton_solve(mna0, a_base, rhs[0], x_al[0], opts,
+                                      stats)
+                ok_all = x_one is not None
+                ok = np.array([ok_all])
+                x_cand = x_one[None, :] if ok_all else x_al.copy()
+            else:
+                x_cand, ok = _newton_solve_batch(mna0, a_base, rhs, x_al,
+                                                 opts, stats)
+                ok_all = bool(ok.all())
+            if not ok_all and m > 1:
+                # Newton trouble on a grown stride: shrink it rather than
+                # recursing below the base grid.  Counted apart from the
+                # LTE rejections — convergence robustness and truncation
+                # control are different failure modes to tune for.
+                stats["newton_rejects"] += 1
+                m = max(1, m >> 1)
+                level = min(level, max(m.bit_length() - 1, 0))
+                continue
+            if not ok_all:
+                if opts.max_halvings < 1 or (opts.min_step > 0.0
+                                             and h / 2 < opts.min_step):
+                    raise ConvergenceError(
+                        f"Newton failed at t={t_prev + h:.4e}s even at "
+                        f"dt={h:.2e}s")
+                for pos in np.nonzero(~ok)[0]:
+                    stats["halvings"] += 1
+                    x_mid, i_mid = _advance_scalar(
+                        mnas[alive[pos]], cache, x_al[pos], ic_al[pos],
+                        t_prev, h / 2, opts, stats, opts.max_halvings - 1)
+                    x_fin, i_fin = _advance_scalar(
+                        mnas[alive[pos]], cache, x_mid, i_mid, t_prev + h / 2,
+                        h / 2, opts, stats, opts.max_halvings - 1)
+                    x_cand[pos] = x_fin
+                    fallback.append((int(pos), i_fin))
+
+            if hist2 is not None:
+                # Two predictor/corrector differences, one per error
+                # mechanism.  (a) Truncation: quadratic extrapolation
+                # through the last three accepted points deviates from
+                # the trapezoidal solution by ~x'''·h(h+h1)(h+h1+h2)/6,
+                # which Milne-scales to the trapezoidal truncation error
+                # h³·x'''/12 — the SPICE LTE test.  (b) Sag: the *linear*
+                # extrapolation difference ~x''·h(h+h1)/2 bounds how far
+                # the solution bows away from the chord between accepted
+                # samples — what piecewise-linear consumers (waveform
+                # resampling, the golden-grid comparison) actually see.
+                x1, h1 = hist1
+                x2, h2 = hist2
+                d1 = (x_al - x1) / h1
+                dd = (d1 - (x1 - x2) / h2) / (h1 + h2)
+                diff_lin = x_cand - (x_al + h * d1)
+                diff_quad = diff_lin - (h * (h + h1)) * dd
+                fac = h * h / (2.0 * (h + h1) * (h + h1 + h2))
+                ref = np.maximum(np.abs(x_cand), np.abs(x_al))[:, :n_nodes]
+                weight = opts.lte_atol + opts.lte_rtol * ref
+                if ref.size:
+                    e_sag = float(np.max(np.abs(diff_lin)[:, :n_nodes] / weight))
+                    e_lte = float(np.max(np.abs(diff_quad)[:, :n_nodes] * fac
+                                         / weight))
+                else:
+                    e_sag = e_lte = 0.0
+                e = max(e_sag, e_lte)
+            else:
+                e_sag = e_lte = e = math.inf
+            if m == 1 or e <= 1.0:
+                # Base steps are always accepted: the fixed grid is the
+                # accuracy reference, adaptive mode only decides growth.
+                break
+            stats["lte_rejects"] += 1
+            # Proportional shrink: aim the retried stride at e' ≈ 1/2
+            # (the binding estimate scales at least quadratically).
+            rungs_down = max(1, int(math.ceil(0.5 * math.log2(2.0 * e))))
+            m = max(1, m >> rungs_down)
+            level = min(level, max(m.bit_length() - 1, 0))
+
+        ic_new = geq * cache.cap_gather(x_cand) - ieq
+        for pos, i_fin in fallback:
+            # Halved variants carry the scalar recursion's history, not
+            # the full-stride identity.
+            ic_new[pos] = i_fin
+        hist2 = hist1
+        hist1 = (x_al, h)
+        if full:
+            # Rebind instead of writing in place: ``x_al``/``hist`` still
+            # reference the pre-step array.
+            x = x_cand
+            i_cap = ic_new
+        else:
+            x[alive] = x_cand
+            i_cap[alive] = ic_new
+        idx += m
+        accepted.append(idx)
+        sols.append(x.copy())
+        if idx == nb and nb in source_marks:
+            # Landed on a stimulus corner: resolve the upcoming activity
+            # at base resolution and rebuild the history first.
+            level = 0
+            calm = 0
+            hist1 = hist2 = None
+        elif math.isfinite(e) and e_sag <= _GROW_FRACTION_SAG \
+                and e_lte <= _GROW_FRACTION_LTE:
+            calm += 1
+            if calm >= _GROW_AFTER and level < rung_cap:
+                level += 1
+                calm = 0
+        else:
+            calm = 0
+
+    stats["matrix_builds"] = cache.builds
+    stats["steps_accepted"] = len(accepted) - 1
+    acc = np.asarray(accepted)
+    t_acc = times[acc]
+    sol_arr = np.stack(sols)  # (n_accepted + 1, batch, size)
+    results = []
+    for b in range(batch):
+        # Every job's window end is a barrier, so it was landed exactly.
+        pos = int(np.searchsorted(acc, n_steps[b]))
+        results.append(TransientResult(mnas[b], t_acc[:pos + 1],
+                                       sol_arr[:pos + 1, b], stats=stats))
+    return results
 
 
 def job_group_key(job: TransientJob, mna: MnaSystem) -> tuple:
@@ -760,10 +1211,13 @@ def simulate_transient_many(
         if len(idxs) == 1:
             k = idxs[0]
             job = jobs[k]
-            results[k] = _simulate_scalar(
-                job.circuit, mnas[k], job.t_stop, job.dt, job.t_start,
-                job.initial_voltages, job.use_ic,
-                job.options or TransientOptions())
+            opts_k = job.options or TransientOptions()
+            if opts_k.adaptive:
+                results[k] = _simulate_adaptive([job], [mnas[k]])[0]
+            else:
+                results[k] = _simulate_scalar(
+                    job.circuit, mnas[k], job.t_stop, job.dt, job.t_start,
+                    job.initial_voltages, job.use_ic, opts_k)
         else:
             for k, res in zip(idxs, _simulate_group([jobs[k] for k in idxs],
                                                     [mnas[k] for k in idxs])):

@@ -27,7 +27,8 @@ from dataclasses import replace as _dc_replace
 from .._util import require
 from ..circuit.netlist import Circuit
 from ..circuit.transient import (TransientJob, TransientOptions,
-                                 TransientResult, simulate_transient_many)
+                                 TransientResult, resolve_adaptive,
+                                 simulate_transient_many)
 from ..library.cells import InverterCell
 from .ramp import SaturatedRamp
 from .techniques.base import PropagationInputs, Technique, TechniqueError
@@ -93,6 +94,11 @@ class GateFixture:
         Linear-solver backend request for the fixture simulations
         (``TransientOptions.backend``): ``"auto"``, ``"dense"``,
         ``"sparse"`` or ``"banded"``.
+    adaptive:
+        Stepping mode of the fixture simulations: ``True``/``False``
+        pin LTE-controlled adaptive stepping on/off, ``None`` (default)
+        follows the ``REPRO_ADAPTIVE`` environment knob
+        (:func:`~repro.circuit.transient.resolve_adaptive`).
     """
 
     cell: InverterCell
@@ -101,6 +107,7 @@ class GateFixture:
     dt: float = 1e-12
     settle_margin: float = 500e-12
     solver_backend: str = "auto"
+    adaptive: bool | None = None
 
     def _build(self, stimulus: Waveform) -> tuple[Circuit, dict[str, float]]:
         vdd = self.cell.vdd
@@ -155,7 +162,9 @@ class GateFixture:
         circuit, initial = self._build(wave)
         return TransientJob(circuit=circuit, t_stop=t_window[1], dt=self.dt,
                             t_start=t_window[0], initial_voltages=initial,
-                            options=TransientOptions(backend=self.solver_backend))
+                            options=TransientOptions(
+                                backend=self.solver_backend,
+                                adaptive=resolve_adaptive(self.adaptive)))
 
     def measure(self, result: TransientResult) -> GateOutput:
         """Extract the :class:`GateOutput` measurements from a simulation."""
@@ -349,6 +358,7 @@ def evaluate_techniques(
     golden: GateOutput | None = None,
     batch: bool = True,
     solver_backend: str | None = None,
+    adaptive: bool | None = None,
     runner: JobRunner | None = None,
 ) -> tuple[GateOutput, dict[str, TechniqueEvaluation]]:
     """Score ``techniques`` on one noisy waveform against the golden gate.
@@ -381,6 +391,10 @@ def evaluate_techniques(
     solver_backend:
         Overrides the fixture's linear-solver backend request for this
         evaluation (``None`` keeps ``fixture.solver_backend``).
+    adaptive:
+        Overrides the fixture's stepping mode for this evaluation
+        (``None`` keeps ``fixture.adaptive``, which itself defaults to
+        the ``REPRO_ADAPTIVE`` environment knob).
     runner:
         Executes the batched job list; defaults to
         :func:`~repro.circuit.transient.simulate_transient_many`.  Pass
@@ -397,6 +411,8 @@ def evaluate_techniques(
             "strictly sequential baseline and would silently ignore it")
     if solver_backend is not None and solver_backend != fixture.solver_backend:
         fixture = _dc_replace(fixture, solver_backend=solver_backend)
+    if adaptive is not None and adaptive != fixture.adaptive:
+        fixture = _dc_replace(fixture, adaptive=adaptive)
     plan = prepare_evaluation(fixture, inputs, techniques, golden=golden)
     if batch:
         sims = (runner or simulate_transient_many)(plan.jobs)

@@ -24,9 +24,12 @@ Determinism and fallback
 Shard assignment is a pure function of the job list and worker count,
 and results are merged back in submission order, so a sharded run
 returns the same list (within the batched-vs-scalar engine tolerance,
-<1e-9 V) as the serial path.  ``workers=1``, tiny job lists, pool
-creation failure, and *per-shard worker crashes* all fall back to the
-deterministic in-process path — a crash costs time, never results.
+<1e-9 V) as the serial path.  Adaptive (LTE-controlled) job groups are
+never split across shards — their lockstep step sequence depends on the
+group membership — so for them sharded and serial runs agree bit for
+bit.  ``workers=1``, tiny job lists, pool creation failure, and
+*per-shard worker crashes* all fall back to the deterministic
+in-process path — a crash costs time, never results.
 
 Workers receive their shard by pickling the jobs (circuits, sources and
 options are plain data) and return ``(times, solutions, stats)`` arrays;
@@ -66,9 +69,14 @@ def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
     Groups of batch-compatible jobs (equal
     :func:`~repro.circuit.transient.job_group_key`) are kept contiguous
     so each worker still batches internally; a group larger than the
-    per-worker target is split into chunks.  Chunks go to the
-    least-loaded shard (ties to the lowest shard index), which is
-    deterministic for a given job list and worker count.
+    per-worker target is split into chunks — except *adaptive* groups
+    (``TransientOptions.adaptive``), which always stay whole: the
+    LTE-controlled engine advances a group in lockstep on the minimum
+    accepted stride, so a job's accepted grid depends on its group
+    membership, and splitting would make the sharded run diverge from
+    the serial one.  Chunks go to the least-loaded shard (ties to the
+    lowest shard index), which is deterministic for a given job list and
+    worker count.
     """
     groups: dict[tuple, list[int]] = {}
     for k in indices:
@@ -77,6 +85,10 @@ def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
 
     chunks: list[list[int]] = []
     for members in groups.values():
+        opts = jobs[members[0]].options
+        if opts is not None and opts.adaptive:
+            chunks.append(members)
+            continue
         for lo in range(0, len(members), target):
             chunks.append(members[lo:lo + target])
 
@@ -111,7 +123,17 @@ def run_jobs(
     Results come back in submission order and are numerically equivalent
     (within the engines' <1e-9 V batched-vs-scalar tolerance) to
     ``simulate_transient_many(jobs)``; with a warm store they are *bit
-    identical* to the run that populated it.
+    identical* to the run that populated it.  Adaptive job groups are
+    handled coherently everywhere membership matters within a call —
+    shards never split them, and a *partially*-warm adaptive group
+    discards its store hits and re-solves whole — so every adaptive
+    group this call actually solves uses exactly the serial baseline's
+    lockstep grouping.  A *fully*-warm adaptive hit, however, replays
+    the accepted grid of whatever submission populated the store (the
+    content key deliberately ignores group membership), which may differ
+    from the grid the current submission would produce; both lie within
+    the LTE tolerance of the same fixed-grid golden, which is the
+    adaptive engine's equivalence contract.
 
     Parameters
     ----------
@@ -154,6 +176,9 @@ def run_jobs(
                     results[k] = cached
                     continue
         pending.append(k)
+    if store is not None and pending:
+        pending = _coherent_adaptive_pending(jobs, mnas, results, pending,
+                                             store)
     if diag is not None and store is not None:
         diag["store_hits"] = len(jobs) - len(pending)
         diag["store_misses"] = len(pending)
@@ -178,6 +203,43 @@ def run_jobs(
                     # never discard hours of completed simulation.
                     store.write_errors += 1
     return results  # type: ignore[return-value]
+
+
+def _coherent_adaptive_pending(
+    jobs: list[TransientJob],
+    mnas: list[MnaSystem],
+    results: "list[TransientResult | None]",
+    pending: list[int],
+    store,
+) -> list[int]:
+    """Discard store hits of partially-warm *adaptive* groups.
+
+    The LTE-controlled engine advances a batch-compatible group in
+    lockstep, so a job's accepted grid (and waveforms, within the LTE
+    tolerance) depend on which group it solves with.  If only some
+    members of an adaptive group hit the store, re-solving just the
+    misses would run them in a smaller group than the serial baseline
+    ``simulate_transient_many(jobs)`` uses — the whole group re-solves
+    (and re-stores) instead, keeping ``run_jobs`` equivalent to the
+    baseline for adaptive jobs too.  The discarded lookups are recounted
+    as misses.  Fully-warm and fully-cold groups are unaffected, so warm
+    reruns still perform zero solves.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for k, (job, mna) in enumerate(zip(jobs, mnas)):
+        opts = job.options
+        if opts is not None and opts.adaptive:
+            groups.setdefault(job_group_key(job, mna), []).append(k)
+    pending_set = set(pending)
+    for members in groups.values():
+        missed = sum(k in pending_set for k in members)
+        if 0 < missed < len(members):
+            for k in members:
+                if k not in pending_set:
+                    results[k] = None
+                    pending_set.add(k)
+                    store.discard_hit()
+    return sorted(pending_set)
 
 
 def _run_sharded(

@@ -24,7 +24,10 @@ nothing positional or environmental:
 * the initial state (``use_ic`` plus the sorted ``initial_voltages``
   items — the DC *seed* steers the Newton path, so it keys the entry),
 * every :class:`~repro.circuit.transient.TransientOptions` field (sorted
-  by field name, so construction order is irrelevant), and
+  by field name, so construction order is irrelevant) — including the
+  stepping mode and LTE tolerances, so an adaptive run and a fixed-grid
+  run of the same job can never alias each other's entries (stored
+  adaptive results replay their accepted non-uniform grid), and
 * :data:`STORE_VERSION`, bumped whenever the solver's numerics change —
   stale stores invalidate themselves instead of replaying old waveforms.
 
@@ -64,7 +67,13 @@ __all__ = ["STORE_VERSION", "UnkeyableJobError", "ResultStore", "job_key"]
 
 #: Bump when solver numerics change in a way that should invalidate
 #: previously stored waveforms.
-STORE_VERSION = 1
+#:
+#: 2 — adaptive LTE-controlled stepping: results may live on non-uniform
+#:     grids and every :class:`TransientOptions` gained stepping fields
+#:     (``adaptive``/``lte_rtol``/``lte_atol``/``max_step``/``min_step``)
+#:     that participate in the key, so pre-adaptive entries — which were
+#:     keyed without a stepping mode — must stop matching.
+STORE_VERSION = 2
 
 #: Default size budget of a store (bytes) unless overridden.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -269,6 +278,18 @@ class ResultStore:
             pass
         self.hits += 1
         return TransientResult(mna, times, x, stats={"source": "store"})
+
+    def discard_hit(self) -> None:
+        """Recount one successful :meth:`lookup` as a miss.
+
+        For callers that fetched an entry and then decided not to use it
+        (the execution layer discards the hits of partially-warm
+        adaptive groups so the whole group re-solves together): keeps
+        the accounting invariant — effective outcomes, not raw lookups —
+        in this module.
+        """
+        self.hits -= 1
+        self.misses += 1
 
     def store(self, key: str, result: TransientResult) -> None:
         """Insert a result atomically, then evict LRU entries over budget."""

@@ -72,13 +72,16 @@ def generate_figure2(
     n_points: int = 241,
     fixture: GateFixture | None = None,
     solver_backend: str = "auto",
+    adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
 ) -> Figure2Data:
     """Produce the Figure 2 series for one noise alignment.
 
     The default offset places the aggressor glitch mid-transition, the
     situation panel (b) of the paper illustrates.  ``solver_backend``
-    is the linear-solver backend request forwarded to every simulation;
+    is the linear-solver backend request forwarded to every simulation
+    (``adaptive`` likewise pins the stepping mode, defaulting to the
+    ``REPRO_ADAPTIVE`` environment knob);
     ``execution`` routes all three simulations (noiseless reference,
     noise case, Γ_eff re-simulation) through the shared execution layer,
     so a warm result store regenerates the figure without solving.
@@ -88,7 +91,7 @@ def generate_figure2(
     ref, cases = run_noise_cases(
         config, [tuple(offset for _ in range(config.n_aggressors))],
         timing, include_noiseless=True, solver_backend=solver_backend,
-        execution=execution)
+        adaptive=adaptive, execution=execution)
     case = cases[0]
     inputs = PropagationInputs(
         v_in_noisy=case.v_in_noisy, vdd=config.vdd,
@@ -98,7 +101,8 @@ def generate_figure2(
     sgdp = Sgdp()
     gamma = sgdp.equivalent_waveform(inputs)
     fixture = fixture or receiver_fixture(config, dt=timing.dt,
-                                          solver_backend=solver_backend)
+                                          solver_backend=solver_backend,
+                                          adaptive=adaptive)
     eff_job = fixture.transient_job(
         gamma, t_window=(case.v_in_noisy.t_start,
                          case.v_in_noisy.t_end + fixture.settle_margin))

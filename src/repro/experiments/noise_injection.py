@@ -28,7 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import require
-from ..circuit.transient import TransientJob, TransientOptions
+from ..circuit.transient import (TransientJob, TransientOptions,
+                                 resolve_adaptive)
 from ..core.waveform import Waveform
 from ..exec import ExecutionConfig, run_jobs
 from .setup import CrosstalkConfig, Testbench, build_testbench
@@ -117,19 +118,22 @@ def alignment_offsets(n_cases: int, window: float = 1.0e-9) -> np.ndarray:
 
 def _simulate(bench: Testbench, timing: SweepTiming,
               solver_backend: str = "auto",
+              adaptive: "bool | None" = None,
               execution: ExecutionConfig | None = None):
-    return run_jobs([_bench_job(bench, timing, solver_backend)], execution)[0]
+    return run_jobs([_bench_job(bench, timing, solver_backend, adaptive)],
+                    execution)[0]
 
 
 def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None,
                   solver_backend: str = "auto",
+                  adaptive: "bool | None" = None,
                   execution: ExecutionConfig | None = None) -> NoiselessReference:
     """Simulate the testbench with quiet aggressors."""
     timing = timing or SweepTiming()
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=[timing.victim_start] * config.n_aggressors,
                             aggressor_active=False)
-    result = _simulate(bench, timing, solver_backend, execution)
+    result = _simulate(bench, timing, solver_backend, adaptive, execution)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiselessReference(
@@ -141,6 +145,7 @@ def run_noiseless(config: CrosstalkConfig, timing: SweepTiming | None = None,
 def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
                    timing: SweepTiming | None = None,
                    solver_backend: str = "auto",
+                   adaptive: "bool | None" = None,
                    execution: ExecutionConfig | None = None) -> NoiseCase:
     """Simulate one aggressor alignment.
 
@@ -159,7 +164,7 @@ def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
     starts = [timing.victim_start + off for off in offsets]
     bench = build_testbench(config, victim_start=timing.victim_start,
                             aggressor_starts=starts, aggressor_active=True)
-    result = _simulate(bench, timing, solver_backend, execution)
+    result = _simulate(bench, timing, solver_backend, adaptive, execution)
     v_in = result.waveform(bench.nodes.victim_far_end)
     v_out = result.waveform(bench.nodes.receiver_out)
     return NoiseCase(
@@ -171,10 +176,13 @@ def run_noise_case(config: CrosstalkConfig, offsets: tuple[float, ...],
 
 
 def _bench_job(bench: Testbench, timing: SweepTiming,
-               solver_backend: str = "auto") -> TransientJob:
+               solver_backend: str = "auto",
+               adaptive: "bool | None" = None) -> TransientJob:
     return TransientJob(bench.circuit, t_stop=timing.t_stop, dt=timing.dt,
                         initial_voltages=bench.initial_voltages,
-                        options=TransientOptions(backend=solver_backend))
+                        options=TransientOptions(
+                            backend=solver_backend,
+                            adaptive=resolve_adaptive(adaptive)))
 
 
 def _case_from(bench: Testbench, result, config: CrosstalkConfig,
@@ -220,8 +228,13 @@ def prepare_noise_sweep(
     timing: SweepTiming | None = None,
     include_noiseless: bool = False,
     solver_backend: str = "auto",
+    adaptive: "bool | None" = None,
 ) -> NoiseSweepPlan:
-    """Build the testbenches and jobs of one alignment sweep."""
+    """Build the testbenches and jobs of one alignment sweep.
+
+    ``adaptive`` selects the stepping mode of every job (``None``
+    follows the ``REPRO_ADAPTIVE`` environment knob).
+    """
     timing = timing or SweepTiming()
     benches: list[Testbench] = []
     if include_noiseless:
@@ -240,7 +253,8 @@ def prepare_noise_sweep(
         offsets_list=tuple(tuple(o) for o in offsets_list),
         include_noiseless=include_noiseless,
         benches=tuple(benches),
-        jobs=tuple(_bench_job(b, timing, solver_backend) for b in benches),
+        jobs=tuple(_bench_job(b, timing, solver_backend, adaptive)
+                   for b in benches),
     )
 
 
@@ -277,6 +291,7 @@ def run_noise_cases(
     include_noiseless: bool = False,
     batch: bool = True,
     solver_backend: str = "auto",
+    adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
 ) -> tuple[NoiselessReference | None, list[NoiseCase]]:
     """Simulate many aggressor alignments through the execution layer.
@@ -304,6 +319,9 @@ def run_noise_cases(
     solver_backend:
         Linear-solver backend request (``TransientOptions.backend``)
         applied to every simulation of the sweep.
+    adaptive:
+        Stepping mode applied to every simulation of the sweep
+        (``None`` follows the ``REPRO_ADAPTIVE`` environment knob).
     execution:
         Shared execution-layer configuration; ``None`` uses the
         ``REPRO_WORKERS`` / ``REPRO_STORE`` environment defaults.
@@ -316,7 +334,8 @@ def run_noise_cases(
     """
     plan = prepare_noise_sweep(config, offsets_list, timing,
                                include_noiseless=include_noiseless,
-                               solver_backend=solver_backend)
+                               solver_backend=solver_backend,
+                               adaptive=adaptive)
     results = run_jobs(list(plan.jobs), execution) if batch \
         else [j.run() for j in plan.jobs]
     return finish_noise_sweep(plan, results)
@@ -326,6 +345,7 @@ def iter_noise_cases(config: CrosstalkConfig, n_cases: int,
                      timing: SweepTiming | None = None,
                      stagger: float = 0.0,
                      solver_backend: str = "auto",
+                     adaptive: "bool | None" = None,
                      execution: ExecutionConfig | None = None):
     """Yield :class:`NoiseCase` objects across the alignment sweep.
 
@@ -345,4 +365,5 @@ def iter_noise_cases(config: CrosstalkConfig, n_cases: int,
         offsets = tuple(base + k * stagger for k in range(config.n_aggressors))
         yield run_noise_case(config, offsets, timing,
                              solver_backend=solver_backend,
+                             adaptive=adaptive,
                              execution=execution)

@@ -257,12 +257,18 @@ def build_testbench(
 
 
 def receiver_fixture(config: CrosstalkConfig, dt: float = 1e-12,
-                     solver_backend: str = "auto") -> GateFixture:
+                     solver_backend: str = "auto",
+                     adaptive: "bool | None" = None) -> GateFixture:
     """The victim receiver with its Figure 1 fanout chain, as a forced-input
-    fixture for technique evaluation."""
+    fixture for technique evaluation.
+
+    ``adaptive`` pins the stepping mode of the fixture simulations
+    (``None`` follows the ``REPRO_ADAPTIVE`` environment knob).
+    """
     return GateFixture(
         cell=config.receiver_cell(),
         chain=config.chain_cells(),
         dt=dt,
         solver_backend=solver_backend,
+        adaptive=adaptive,
     )

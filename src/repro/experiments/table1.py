@@ -129,6 +129,7 @@ def run_table1(
     progress: bool = False,
     batch: bool = True,
     solver_backend: str = "auto",
+    adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
 ) -> Table1Result:
     """Run the Table 1 sweep for one configuration.
@@ -165,6 +166,11 @@ def run_table1(
         Linear-solver backend request (``TransientOptions.backend``)
         applied to every simulation of the sweep — the coupled-circuit
         noise cases and the fixture re-simulations alike.
+    adaptive:
+        Stepping mode applied to every simulation of the sweep
+        (``None`` follows the ``REPRO_ADAPTIVE`` environment knob;
+        the ``tests/test_adaptive_stepping.py`` harness pins the
+        adaptive sweep to the fixed-grid one within the LTE tolerance).
     execution:
         Shared execution-layer configuration (workers + result store);
         ``None`` uses the ``REPRO_WORKERS`` / ``REPRO_STORE``
@@ -177,7 +183,8 @@ def run_table1(
     return run_table1_many(
         [config], n_cases=n_cases, timing=timing, techniques=techniques,
         polarity=polarity, noiseless=noiseless, progress=progress,
-        batch=batch, solver_backend=solver_backend, execution=execution)[0]
+        batch=batch, solver_backend=solver_backend, adaptive=adaptive,
+        execution=execution)[0]
 
 
 def run_table1_many(
@@ -190,6 +197,7 @@ def run_table1_many(
     progress: bool = False,
     batch: bool = True,
     solver_backend: str = "auto",
+    adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
 ) -> list[Table1Result]:
     """Run the Table 1 sweep for several configurations at once.
@@ -241,7 +249,8 @@ def run_table1_many(
                             for base in alignment_offsets(n_here, timing.window)]
             sweep = prepare_noise_sweep(cfg, offsets_list, timing,
                                         include_noiseless=noiseless is None,
-                                        solver_backend=solver_backend)
+                                        solver_backend=solver_backend,
+                                        adaptive=adaptive)
             plans.append((c_idx, label, sweep))
             jobs.extend(sweep.jobs)
     announce(f"simulating {len(jobs)} coupled noise cases "
@@ -250,7 +259,8 @@ def run_table1_many(
 
     # --- phase 2: golden + technique re-simulations for every case -----
     fixtures = [receiver_fixture(config, dt=timing.dt,
-                                 solver_backend=solver_backend)
+                                 solver_backend=solver_backend,
+                                 adaptive=adaptive)
                 for config in configs]
     eval_plans = []  # (config index, label, case, EvaluationPlan)
     eval_jobs = []

@@ -1,4 +1,5 @@
-"""Synthetic-waveform builders shared across the test suite."""
+"""Synthetic-waveform builders and golden-grid comparison utilities
+shared across the test suite."""
 
 from __future__ import annotations
 
@@ -7,6 +8,22 @@ import numpy as np
 from repro.core.waveform import Waveform
 
 VDD = 1.2
+
+
+def max_node_deviation(golden, other, nodes=None) -> float:
+    """Worst |ΔV| between two transient results on a common axis.
+
+    Resamples ``other`` onto the golden result's time axis (linear
+    interpolation, the semantics both results' waveforms carry), so
+    adaptive non-uniform grids compare directly against fixed golden
+    grids.  ``nodes`` restricts the comparison (default: every node).
+    """
+    worst = 0.0
+    for node in (nodes if nodes is not None else golden.node_names):
+        dv = np.abs(other.voltages_at(node, golden.times)
+                    - golden.voltage_samples(node))
+        worst = max(worst, float(dv.max()))
+    return worst
 
 
 def sigmoid_edge(t50: float, slew: float, vdd: float = VDD, rising: bool = True,

@@ -9,7 +9,8 @@ import pytest
 from repro.circuit.mna import MnaSystem
 from repro.circuit.netlist import Circuit
 from repro.circuit.sources import RampSource
-from repro.circuit.transient import TransientJob, simulate_transient_many
+from repro.circuit.transient import (TransientJob, TransientOptions,
+                                     simulate_transient_many)
 from repro.core.waveform import Waveform
 from repro.exec import ExecutionConfig, run_jobs
 from repro.exec import pool as pool_mod
@@ -18,22 +19,26 @@ from repro.library.cells import standard_cell
 from repro.core.propagation import GateFixture
 
 VOLTAGE_TOL = 1e-9
+ADAPTIVE = TransientOptions(adaptive=True)
 
 
 def rc_job(r_ohm: float, start: float, n_stages: int = 3,
-           t_stop: float = 0.8e-9) -> TransientJob:
+           t_stop: float = 0.8e-9,
+           options: "TransientOptions | None" = None) -> TransientJob:
     """A MOSFET-free RC ladder driven by a ramp."""
     c = Circuit("ladder")
     c.vsource("Vin", "n0", "0", RampSource(start, 100e-12, 0.0, 1.2))
     for k in range(n_stages):
         c.resistor(f"R{k}", f"n{k}", f"n{k + 1}", r_ohm)
         c.capacitor(f"C{k}", f"n{k + 1}", "0", 20e-15)
-    return TransientJob(c, t_stop=t_stop, dt=2e-12)
+    return TransientJob(c, t_stop=t_stop, dt=2e-12, options=options)
 
 
-def inverter_job(slew: float, t_stop: float = 0.6e-9) -> TransientJob:
+def inverter_job(slew: float, t_stop: float = 0.6e-9,
+                 adaptive: bool = False) -> TransientJob:
     """A MOSFET (nonlinear) job: an inverter fixture driven by a ramp."""
-    fixture = GateFixture(cell=standard_cell(1), extra_load=10e-15, dt=2e-12)
+    fixture = GateFixture(cell=standard_cell(1), extra_load=10e-15, dt=2e-12,
+                          adaptive=adaptive)
     wave = Waveform.ramp(t_start=50e-12, slew=slew, vdd=fixture.cell.vdd)
     return fixture.transient_job(wave, t_window=(0.0, t_stop))
 
@@ -120,6 +125,61 @@ class TestShardScheduler:
         shards = make_shards(list(range(8)), jobs, mnas, 2)
         assert len(shards) == 2
         assert sorted(len(s) for s in shards) == [4, 4]
+
+
+def adaptive_job_mix() -> list[TransientJob]:
+    """Long-window adaptive jobs across MOSFET and MOSFET-free topologies."""
+    jobs = []
+    for k in range(4):
+        jobs.append(rc_job(1e3, 50e-12 * (k + 1), t_stop=4e-9,
+                           options=ADAPTIVE))
+        jobs.append(inverter_job(80e-12 + 20e-12 * k, t_stop=3e-9,
+                                 adaptive=True))
+    jobs.append(rc_job(2e3, 100e-12, n_stages=5, t_stop=4e-9,
+                       options=ADAPTIVE))
+    return jobs
+
+
+class TestAdaptiveSharding:
+    """Sharded ≡ serial with LTE-controlled stepping enabled.
+
+    Adaptive groups advance in lockstep, so their accepted grid depends
+    on the group membership; the scheduler keeps them whole, making the
+    sharded run *bit-identical* to the serial one (`assert_equivalent`
+    also requires matching time axes).
+    """
+
+    def test_adaptive_sharded_matches_serial(self):
+        jobs = adaptive_job_mix()
+        serial = simulate_transient_many(jobs)
+        diag = {}
+        sharded = run_jobs(jobs, ExecutionConfig(workers=2), diag=diag)
+        assert diag["mode"] == "sharded"
+        assert sharded[0].stats.get("adaptive") is True
+        assert not sharded[0].uniform_grid
+        assert_equivalent(serial, sharded)
+
+    def test_adaptive_groups_are_never_split(self):
+        jobs = [rc_job(1e3, 10e-12 * k, t_stop=4e-9, options=ADAPTIVE)
+                for k in range(8)]
+        mnas = [MnaSystem(j.circuit) for j in jobs]
+        shards = make_shards(list(range(8)), jobs, mnas, 2)
+        # One topology-sharing adaptive group: all 8 jobs in one shard
+        # (a fixed-grid list of the same shape splits 4/4).
+        assert len(shards) == 1 and sorted(shards[0]) == list(range(8))
+        fixed = [rc_job(1e3, 10e-12 * k) for k in range(8)]
+        fixed_shards = make_shards(list(range(8)), fixed,
+                                   [MnaSystem(j.circuit) for j in fixed], 2)
+        assert sorted(len(s) for s in fixed_shards) == [4, 4]
+
+    def test_adaptive_worker_crash_falls_back_to_serial(self, monkeypatch):
+        jobs = adaptive_job_mix()
+        serial = simulate_transient_many(jobs)
+        monkeypatch.setattr(pool_mod, "_simulate_shard", _crashing_shard)
+        diag = {}
+        results = run_jobs(jobs, ExecutionConfig(workers=2), diag=diag)
+        assert diag["fallback_shards"] == diag["shards"] >= 2
+        assert_equivalent(serial, results)
 
 
 def _crashing_shard(jobs):  # module-level: picklable into the workers

@@ -148,6 +148,42 @@ class TestWaveformProperties:
         with pytest.raises(ValueError):
             Waveform(dup, [0.0] * len(dup))
 
+    @given(waveforms(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_resample_onto_nonuniform_superset_preserves_polyline(self, w, data):
+        # Adaptive results are piecewise-linear records on non-uniform
+        # axes; adding interpolated sample points (any strictly-increasing
+        # superset grid) must not move the curve: original samples are
+        # reproduced exactly and crossing times are unchanged.
+        k = data.draw(st.integers(min_value=0, max_value=len(w.times) - 2))
+        frac = data.draw(st.floats(min_value=0.25, max_value=0.75))
+        extra = w.times[k] + frac * (w.times[k + 1] - w.times[k])
+        grid = np.union1d(w.times, [extra])
+        r = w.resampled(times=grid)
+        pos = np.searchsorted(grid, w.times)
+        np.testing.assert_array_equal(r.values[pos], w.values)
+        level = data.draw(st.floats(min_value=-0.4, max_value=1.9))
+        np.testing.assert_allclose(r.crossings(level), w.crossings(level),
+                                   rtol=0, atol=1e-21)
+
+    @given(st.floats(min_value=1e-11, max_value=1e-9),
+           st.lists(st.integers(min_value=1, max_value=400),
+                    min_size=4, max_size=30, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_ramp_slew_invariant_on_nonuniform_axes(self, slew, ticks):
+        # A saturated ramp resampled onto an arbitrary non-uniform axis
+        # that covers its span keeps its measured slew and arrival: the
+        # invariant the golden-grid harness relies on when comparing
+        # adaptive (non-uniform) and fixed-grid records.
+        w = Waveform.ramp(t_start=1e-10, slew=slew, vdd=VDD)
+        span = w.t_end - w.t_start
+        grid = np.union1d(w.times,
+                          w.t_start + span * np.asarray(sorted(ticks)) / 401.0)
+        r = w.resampled(times=grid)
+        assert r.slew(VDD) == pytest.approx(w.slew(VDD), rel=1e-9, abs=1e-21)
+        assert r.cross_time(VDD / 2) == pytest.approx(w.cross_time(VDD / 2),
+                                                      rel=0, abs=1e-21)
+
     @given(st.floats(min_value=1e-12, max_value=1e-9),
            st.floats(min_value=0.0, max_value=5e-9),
            st.booleans())
@@ -274,6 +310,11 @@ _OPTION_VALUES = {
     "max_halvings": [8, 10, 12],
     "v_limit": [0.5, 0.6, 0.7],
     "backend": ["auto", "dense", "banded", "sparse"],
+    "adaptive": [False, True],
+    "lte_rtol": [5e-7, 1e-6, 1e-7],
+    "lte_atol": [2e-7, 1e-7, 4e-7],
+    "max_step": [0.0, 64e-12, 256e-12],
+    "min_step": [0.0, 0.5e-12],
 }
 _OPTION_FIELDS = {name: st.sampled_from(values)
                   for name, values in _OPTION_VALUES.items()}
@@ -320,3 +361,15 @@ class TestStoreKeyProperties:
         a = _store_job(TransientOptions(), initial=initial)
         b = _store_job(TransientOptions(), initial=dict(perm))
         assert job_key(a) == job_key(b)
+
+    @given(st.fixed_dictionaries({k: v for k, v in _OPTION_FIELDS.items()
+                                  if k != "adaptive"}))
+    @settings(max_examples=60, deadline=None)
+    def test_stepping_modes_never_alias(self, opts):
+        # The store must re-key when only the stepping mode differs:
+        # adaptive results live on a different grid and carry an
+        # LTE-sized deviation, so replaying a fixed-grid entry for an
+        # adaptive job (or vice versa) would be silent corruption.
+        fixed = _store_job(TransientOptions(adaptive=False, **opts))
+        adaptive = _store_job(TransientOptions(adaptive=True, **opts))
+        assert job_key(fixed) != job_key(adaptive)

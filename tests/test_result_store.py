@@ -60,6 +60,50 @@ class TestAccounting:
         assert len(store) == 0
         assert store.stats()["hits"] == store.stats()["misses"] == 0
 
+    def test_adaptive_nonuniform_grid_roundtrips_exactly(self, store):
+        """A stored adaptive result replays its accepted non-uniform grid
+        bit for bit, and never aliases the fixed-grid entry of the same
+        job."""
+        cfg = ExecutionConfig(store=store)
+        base = rc_job(t_stop=4e-9)
+        adaptive = dataclasses.replace(
+            base, options=dataclasses.replace(base.options, adaptive=True))
+        cold_f, cold_a = run_jobs([base, adaptive], cfg)
+        assert store.stores == 2  # distinct keys: no cross-mode aliasing
+        assert not cold_a.uniform_grid
+        warm_f, warm_a = run_jobs([base, adaptive], cfg)
+        assert store.hits == 2
+        np.testing.assert_array_equal(warm_a.times, cold_a.times)
+        np.testing.assert_array_equal(warm_a._x, cold_a._x)
+        np.testing.assert_array_equal(warm_f.times, cold_f.times)
+        assert len(warm_a.times) < len(warm_f.times)
+
+    def test_partially_warm_adaptive_group_resolves_whole(self, store):
+        """Adaptive lockstep grids depend on group membership, so a
+        partial set of store hits must not shrink the solve group: the
+        hits are discarded (recounted as misses) and the whole group
+        re-solves, keeping run_jobs bit-identical to the serial
+        baseline."""
+        cfg = ExecutionConfig(store=store)
+        adaptive = TransientOptions(adaptive=True)
+        jobs = [dataclasses.replace(rc_job(start=10e-12 * k, t_stop=4e-9),
+                                    options=adaptive)
+                for k in range(3)]
+        run_jobs([jobs[0]], cfg)  # warm exactly one member (solo grid)
+        store.reset_counters()
+        mixed = run_jobs(jobs, cfg)
+        baseline = simulate_transient_many(jobs)
+        for r, b in zip(mixed, baseline):
+            np.testing.assert_array_equal(r.times, b.times)
+            np.testing.assert_array_equal(r._x, b._x)
+        # The solo entry was looked up but discarded for group coherence.
+        assert store.hits == 0 and store.misses == 3 and store.stores == 3
+        store.reset_counters()
+        warm = run_jobs(jobs, cfg)  # fully warm now: zero solves again
+        assert store.hits == 3 and store.stores == 0
+        for r, w in zip(mixed, warm):
+            np.testing.assert_array_equal(r._x, w._x)
+
     def test_one_stats_surface_over_cache_and_store(self, store):
         """quiet_cache_stats/clear_quiet_cache cover the default store;
         the reset zeroes counters but preserves warmed entries."""
