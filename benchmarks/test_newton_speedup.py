@@ -1,0 +1,166 @@
+"""Pattern-frozen Newton vs dense Newton on gate + coupled-RC netlists.
+
+Sweeps the paper's Figure 1 topology — an inverter driving a coupled RC
+line bundle into the receiver/fanout chain, one aggressor — with the
+line discretisation deepened well past the 3-π-cell paper scale
+(n_segments ∈ {12, 36, 72, 144}), through the batched transient engine:
+once with the solver backend forced dense (the historical MOSFET Newton
+path: per-iteration dense re-stamp + stacked LU) and once with ``auto``
+backend selection (the block-bordered banded kernel for these
+gate-plus-line topologies, degrading to the frozen-pattern SuperLU
+refactorization — see :mod:`repro.circuit.solvers`).
+
+Asserts the structured Newton path is at least 2× faster at the best
+sweep point with mna_size ≥ 150 (the acceptance regime of ISSUE 5; the
+deepest point shows the asymptotic regime where the dense O(n³)
+refactorization per Newton iteration dominates) while agreeing with the
+dense reference to <1e-9 V on every node of every variant at *every*
+sweep point, and emits ``BENCH_newton.json`` next to the repo root with
+the gated point recorded as ``gate_size``.
+
+Timings take the best of ``REPEATS`` interleaved runs per backend — the
+minimum is the noise-robust statistic on shared CI machines — with one
+full remeasure if the gate still misses.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuit.mna import MnaSystem
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import (BatchStimulus, TransientOptions,
+                                     simulate_transient_batch)
+from repro.experiments.setup import CrosstalkConfig, build_testbench
+
+SPEEDUP_FLOOR = 2.0
+GATE_MIN_SIZE = 150
+VOLTAGE_TOL = 1e-9
+SEGMENT_SWEEP = (12, 36, 72, 144)
+BATCH = 4
+T_STOP = 0.5e-9
+DT = 1e-12
+REPEATS = 2
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_newton.json"
+
+
+def _testbench(n_segments: int):
+    """Figure 1 (Configuration I) with a deepened line discretisation."""
+    config = CrosstalkConfig(name=f"newton{n_segments}", n_aggressors=1,
+                             line_length_um=1000.0,
+                             coupling_per_aggressor=100e-15,
+                             n_segments=n_segments)
+    return build_testbench(config, 0.1e-9, (0.12e-9,))
+
+
+def _stimuli(tb) -> list[BatchStimulus]:
+    """One aggressor-alignment sweep: variants differ in Vy's start."""
+    return [
+        BatchStimulus(
+            sources={"Vy": RampSource(0.12e-9 + k * 0.01e-9, 150e-12,
+                                      1.2, 0.0)},
+            initial_voltages=tb.initial_voltages)
+        for k in range(BATCH)
+    ]
+
+
+def _run(tb, backend: str):
+    return simulate_transient_batch(
+        tb.circuit, _stimuli(tb), t_stop=T_STOP, dt=DT,
+        options=TransientOptions(backend=backend))
+
+
+def _measure(n_segments: int) -> dict:
+    """Best-of-REPEATS wall clock for dense vs auto, plus equivalence."""
+    tb = _testbench(n_segments)
+    best = {"dense": float("inf"), "auto": float("inf")}
+    results = {}
+    for _ in range(REPEATS):
+        for backend in ("dense", "auto"):
+            t0 = time.perf_counter()
+            res = _run(tb, backend)
+            best[backend] = min(best[backend], time.perf_counter() - t0)
+            results[backend] = res
+    worst_dv = 0.0
+    for dense_res, auto_res in zip(results["dense"], results["auto"]):
+        for node in dense_res.node_names:
+            worst_dv = max(worst_dv, float(np.max(np.abs(
+                dense_res.voltage_samples(node)
+                - auto_res.voltage_samples(node)))))
+    return {
+        "n_segments": n_segments,
+        "mna_size": MnaSystem(tb.circuit).size,
+        "n_mosfets": MnaSystem(tb.circuit).n_mosfets,
+        "backend_selected": results["auto"][0].stats["backend"],
+        "newton_fallbacks": results["auto"][0].stats["newton_fallbacks"],
+        "dense_seconds": round(best["dense"], 4),
+        "structured_seconds": round(best["auto"], 4),
+        "speedup": round(best["dense"] / best["auto"], 3),
+        "max_deviation_volts": worst_dv,
+    }
+
+
+def test_sparse_newton_lifts_the_gate_netlist_ceiling():
+    """Sweep the segment counts; gate the best point at mna_size ≥ 150."""
+    rows = []
+    for n_segments in SEGMENT_SWEEP:
+        row = _measure(n_segments)
+        rows.append(row)
+        assert row["max_deviation_volts"] < VOLTAGE_TOL, (
+            f"n_segments={n_segments}: structured Newton deviates by "
+            f"{row['max_deviation_volts']:.3e} V")
+        assert row["newton_fallbacks"] == 0
+
+    qualifying = [r for r in rows if r["mna_size"] >= GATE_MIN_SIZE]
+    gate = max(qualifying, key=lambda r: r["speedup"])
+    assert gate["mna_size"] >= GATE_MIN_SIZE
+    if gate["speedup"] < SPEEDUP_FLOOR:
+        # One full remeasure absorbs a stall of the shared machine.
+        retry = _measure(gate["n_segments"])
+        if retry["speedup"] > gate["speedup"]:
+            rows[rows.index(gate)] = retry
+            gate = retry
+
+    # Gate netlists must actually take a structured Newton path.
+    assert gate["backend_selected"] in ("banded", "sparse")
+
+    payload = {
+        "workload": ("Figure 1 gate + coupled RC line (1 aggressor), "
+                     f"{BATCH} aggressor alignments, "
+                     f"{int(round(T_STOP / DT))} steps"),
+        "batch": BATCH,
+        "dt": DT,
+        "t_stop": T_STOP,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "gate_min_mna_size": GATE_MIN_SIZE,
+        "gate_size": gate["mna_size"],
+        "gate_segments": gate["n_segments"],
+        "voltage_tol": VOLTAGE_TOL,
+        "sweep": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert gate["speedup"] >= SPEEDUP_FLOOR, (
+        f"structured Newton only {gate['speedup']:.2f}x faster than dense "
+        f"at mna_size={gate['mna_size']} "
+        f"({gate['structured_seconds']:.2f}s vs {gate['dense_seconds']:.2f}s); "
+        f"see {BENCH_PATH}")
+
+
+def test_paper_scale_gate_circuits_stay_dense():
+    """The 3-cell Figure 1 netlist keeps the historical dense path."""
+    tb = _testbench(3)
+    res = _run(tb, "auto")
+    assert res[0].stats["backend"] == "dense"
+    assert res[0].stats["batch_size"] == BATCH
+
+
+@pytest.mark.parametrize("n_segments", [72])
+def test_structured_newton_engages_at_depth(n_segments):
+    res = _run(_testbench(n_segments), "auto")
+    assert res[0].stats["backend"] in ("banded", "sparse")

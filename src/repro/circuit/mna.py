@@ -17,17 +17,127 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections import OrderedDict
 from collections.abc import Mapping
+from dataclasses import dataclass, field
 
 from .._util import require
 from .mosfet import mosfet_eval
 from .netlist import GROUND, Circuit
-from .solvers import MatrixStructure, analyze_pattern
+from .solvers import (HAVE_SCIPY, BorderedBanded, MatrixStructure,
+                      PatternFrozenLu, _BANDED_MAX_BANDWIDTH, _MAX_BORDER,
+                      _MIN_STRUCTURED_SIZE, analyze_pattern)
 
-__all__ = ["MnaSystem", "stacked_newton"]
+__all__ = ["MnaSystem", "stacked_newton", "SparseStampMaps",
+           "NewtonPartition", "SparseNewtonStep", "BorderedNewtonStep",
+           "clear_analysis_cache"]
 
 #: Conductance to ground added on every node diagonal for matrix robustness.
 DEFAULT_GMIN = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Per-topology analysis cache
+# ----------------------------------------------------------------------
+#: Analysis products that depend only on the topology signature — pattern
+#: structures (RCM included), sparse stamp maps, Newton core/border
+#: partitions — shared across :class:`MnaSystem` instances.  Wide
+#: experiment fronts compile one system per job; without this cache every
+#: instance re-derived its O(n²)-ish pattern analysis inside
+#: ``_StepMatrixCache.__init__``, once per job instead of once per
+#: topology.  Bounded LRU.
+_ANALYSIS_CACHE: "OrderedDict[tuple, _TopologyAnalysis]" = OrderedDict()
+_ANALYSIS_CACHE_ENTRIES = 128
+
+#: Sentinel: "not computed yet" (``None`` is a valid partition result).
+_UNCOMPUTED = object()
+
+
+class _TopologyAnalysis:
+    """Lazily filled per-topology analysis slot."""
+
+    __slots__ = ("structures", "maps", "partition")
+
+    def __init__(self):
+        self.structures: dict[bool, MatrixStructure] = {}
+        self.maps: "SparseStampMaps | None" = None
+        self.partition = _UNCOMPUTED
+
+
+def _analysis_for(signature: tuple) -> _TopologyAnalysis:
+    entry = _ANALYSIS_CACHE.get(signature)
+    if entry is None:
+        entry = _TopologyAnalysis()
+        _ANALYSIS_CACHE[signature] = entry
+        while len(_ANALYSIS_CACHE) > _ANALYSIS_CACHE_ENTRIES:
+            _ANALYSIS_CACHE.popitem(last=False)
+    else:
+        _ANALYSIS_CACHE.move_to_end(signature)
+    return entry
+
+
+def clear_analysis_cache() -> None:
+    """Drop every cached per-topology analysis (test isolation hook)."""
+    _ANALYSIS_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class SparseStampMaps:
+    """Frozen CSC pattern plus O(nnz) scatter maps for one topology.
+
+    The pattern is the union of every value the assembled system can
+    ever hold — linear stamps (``g_lin``), node diagonals (gmin
+    stepping), capacitor companion positions and MOSFET Jacobian fill —
+    so it is fixed across time steps, Newton iterations and gmin stages;
+    only the ``data`` vector changes.  The index maps let each producer
+    stamp straight into a preallocated nnz vector:
+
+    ``lin_data``
+        ``g_lin`` scattered onto the pattern (the constant base).
+    ``diag_pos``
+        Data positions of the node diagonals (``extra_gmin`` stepping).
+    ``cap_pos`` / ``cap_sign`` / ``cap_idx``
+        One entry per capacitor stamp position: ``data[cap_pos] +=
+        cap_sign · geq[cap_idx]`` applies the trapezoidal companion
+        conductances for any step size (``np.add.at`` — shared-node
+        capacitors hit duplicate positions).
+    ``mos_pos`` / ``mos_pos_uniq``
+        Data positions of the device Jacobian entries, aligned with the
+        scalar scatter layout (``MnaSystem._mos_flat``) and with the
+        deduplicated batch layout (``MnaSystem._mos_flat_uniq``).
+    """
+
+    size: int
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    lin_data: np.ndarray = field(repr=False)
+    diag_pos: np.ndarray = field(repr=False)
+    cap_pos: np.ndarray = field(repr=False)
+    cap_sign: np.ndarray = field(repr=False)
+    cap_idx: np.ndarray = field(repr=False)
+    mos_pos: np.ndarray = field(repr=False)
+    mos_pos_uniq: np.ndarray = field(repr=False)
+
+    @property
+    def nnz(self) -> int:
+        """Structural nonzero count of the frozen pattern."""
+        return int(self.indices.size)
+
+
+@dataclass(frozen=True)
+class NewtonPartition:
+    """Core/border split of a MOSFET system for the bordered kernel.
+
+    ``border`` holds the MNA indices every MOSFET Jacobian entry can
+    touch (device terminal nodes, plus voltage-source branch rows whose
+    every non-ground terminal is such a node — leaving them in the core
+    would give the core a structurally zero row); ``core`` is the rest,
+    with ``core_structure`` its own RCM pattern analysis.
+    """
+
+    border: np.ndarray = field(repr=False)
+    core: np.ndarray = field(repr=False)
+    core_structure: MatrixStructure = field(repr=False)
 
 
 class MnaSystem:
@@ -46,7 +156,7 @@ class MnaSystem:
         self.circuit = circuit
         self.gmin = gmin
         self._signature: tuple | None = None
-        self._structures: dict[bool, MatrixStructure] = {}
+        self._analysis_entry: _TopologyAnalysis | None = None
         self.node_names = list(circuit.nodes)
         self.node_index = {name: i for i, name in enumerate(self.node_names)}
         self.n_nodes = len(self.node_names)
@@ -323,20 +433,185 @@ class MnaSystem:
             pat.reshape(-1)[self._mos_flat] = True
         return pat
 
+    def _analysis(self) -> _TopologyAnalysis:
+        """This topology's shared analysis slot (global, LRU-bounded)."""
+        if self._analysis_entry is None:
+            self._analysis_entry = _analysis_for(self.topology_signature())
+        return self._analysis_entry
+
     def structure(self, include_caps: bool = True) -> MatrixStructure:
         """Sparsity-pattern signature of the system matrix, cached.
 
-        Computed once per topology (RCM reordering included) and shared
-        by every analysis of this system: the transient engine selects
-        its per-step solver from ``structure(include_caps=True)``, the DC
-        solver from ``structure(include_caps=False)`` (capacitors are
-        open in DC).
+        Computed once per *topology signature* (RCM reordering included)
+        and shared by every analysis of every system compiled from that
+        topology — wide experiment fronts compile one ``MnaSystem`` per
+        job, so the cache is global, not per instance.  The transient
+        engine selects its per-step solver from
+        ``structure(include_caps=True)``, the DC solver from
+        ``structure(include_caps=False)`` (capacitors are open in DC).
         """
-        cached = self._structures.get(include_caps)
+        shared = self._analysis()
+        cached = shared.structures.get(include_caps)
         if cached is None:
             cached = analyze_pattern(self.system_pattern(include_caps))
-            self._structures[include_caps] = cached
+            shared.structures[include_caps] = cached
         return cached
+
+    def sparse_maps(self) -> SparseStampMaps:
+        """The frozen CSC pattern and scatter maps, cached per topology."""
+        shared = self._analysis()
+        if shared.maps is None:
+            shared.maps = self._build_sparse_maps()
+        return shared.maps
+
+    def _build_sparse_maps(self) -> SparseStampMaps:
+        n = self.size
+        pat = self.system_pattern(include_caps=True)
+        # gmin stepping stamps every node diagonal; freeze them into the
+        # pattern so the DC kernel works even at gmin = 0.
+        nd = np.arange(self.n_nodes)
+        pat[nd, nd] = True
+        rows, cols = np.nonzero(pat)
+        order = np.lexsort((rows, cols))  # CSC: column-major, rows sorted
+        rows = rows[order]
+        cols = cols[order]
+        nnz = rows.size
+        counts = np.bincount(cols, minlength=n)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+        # Dense position lookup, build-time only (discarded with scope).
+        pos = np.full((n, n), -1, dtype=np.int64)
+        pos[rows, cols] = np.arange(nnz)
+
+        lin_data = np.zeros(nnz)
+        lr, lc = np.nonzero(self.g_lin)
+        lin_data[pos[lr, lc]] = self.g_lin[lr, lc]
+        diag_pos = pos[nd, nd]
+
+        cap_pos: list[int] = []
+        cap_sign: list[float] = []
+        cap_idx: list[int] = []
+        for k in range(self.n_caps):
+            i, j = int(self.cap_i[k]), int(self.cap_j[k])
+            if i >= 0:
+                cap_pos.append(pos[i, i]); cap_sign.append(1.0); cap_idx.append(k)
+            if j >= 0:
+                cap_pos.append(pos[j, j]); cap_sign.append(1.0); cap_idx.append(k)
+            if i >= 0 and j >= 0:
+                cap_pos.extend((pos[i, j], pos[j, i]))
+                cap_sign.extend((-1.0, -1.0))
+                cap_idx.extend((k, k))
+
+        if self.n_mosfets:
+            mos_pos = pos[self._mos_flat // n, self._mos_flat % n]
+            mos_pos_uniq = pos[self._mos_flat_uniq // n,
+                               self._mos_flat_uniq % n]
+        else:
+            mos_pos = np.empty(0, dtype=np.int64)
+            mos_pos_uniq = np.empty(0, dtype=np.int64)
+        return SparseStampMaps(
+            size=n, indptr=indptr, indices=rows, lin_data=lin_data,
+            diag_pos=diag_pos,
+            cap_pos=np.asarray(cap_pos, dtype=np.int64),
+            cap_sign=np.asarray(cap_sign),
+            cap_idx=np.asarray(cap_idx, dtype=np.int64),
+            mos_pos=mos_pos, mos_pos_uniq=mos_pos_uniq)
+
+    def sparse_base_data(self, maps: SparseStampMaps, h: "float | None" = None,
+                         extra_gmin: float = 0.0) -> np.ndarray:
+        """Numeric CSC data of the device-free system, O(nnz).
+
+        The linear stamps plus, for a transient step of size ``h``, the
+        trapezoidal companion conductances ``2C/h`` (``h=None`` is the DC
+        form) plus an optional gmin-stepping leak on the node diagonals.
+        """
+        data = maps.lin_data.copy()
+        if extra_gmin:
+            data[maps.diag_pos] += extra_gmin
+        if h is not None and self.n_caps:
+            geq = 2.0 * self.cap_c / h
+            np.add.at(data, maps.cap_pos, maps.cap_sign * geq[maps.cap_idx])
+        return data
+
+    def newton_partition(self) -> "NewtonPartition | None":
+        """Core/border split for the bordered Newton kernel, or ``None``.
+
+        ``None`` means no viable partition exists — the circuit is
+        MOSFET-free, the border would outgrow its ceiling, the remaining
+        core is too small to be worth structuring, or the core does not
+        permute to a narrow band.  Cached per topology signature.
+        """
+        shared = self._analysis()
+        if shared.partition is _UNCOMPUTED:
+            shared.partition = self._build_newton_partition()
+        return shared.partition
+
+    def _build_newton_partition(self) -> "NewtonPartition | None":
+        if self.n_mosfets == 0 or not HAVE_SCIPY:
+            return None
+        border_mask = np.zeros(self.size, dtype=bool)
+        for idx in (self.mos_d, self.mos_g, self.mos_s):
+            border_mask[idx[idx >= 0]] = True
+        for k, v in enumerate(self.circuit.vsources):
+            terms = [t for t in (self.index_of(v.node_pos),
+                                 self.index_of(v.node_neg)) if t >= 0]
+            if terms and all(border_mask[t] for t in terms):
+                border_mask[self.n_nodes + k] = True
+        border = np.nonzero(border_mask)[0]
+        core = np.nonzero(~border_mask)[0]
+        if (core.size < _MIN_STRUCTURED_SIZE or border.size > _MAX_BORDER
+                or border.size >= core.size):
+            return None
+        pat = self.system_pattern(include_caps=True)
+        core_structure = analyze_pattern(pat[np.ix_(core, core)])
+        if core_structure.bandwidth > _BANDED_MAX_BANDWIDTH:
+            return None
+        return NewtonPartition(border=border, core=core,
+                               core_structure=core_structure)
+
+    def sparse_newton_step(self, h: "float | None" = None,
+                           extra_gmin: float = 0.0) -> "SparseNewtonStep":
+        """Pattern-frozen sparse Newton operator (``h=None``: DC form)."""
+        maps = self.sparse_maps()
+        return SparseNewtonStep(self, maps,
+                                self.sparse_base_data(maps, h, extra_gmin))
+
+    def bordered_newton_step(self, a_base: np.ndarray) -> "BorderedNewtonStep":
+        """Bordered Newton operator for a companion-stamped base matrix.
+
+        Raises :class:`numpy.linalg.LinAlgError` when the banded core
+        factorization fails (callers degrade to the sparse kernel) and
+        :class:`ValueError` when no viable partition exists.
+        """
+        partition = self.newton_partition()
+        require(partition is not None,
+                "no viable core/border partition for this topology")
+        return BorderedNewtonStep(self, partition, a_base)
+
+    def _mos_lin(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Newton linearisation of every MOSFET at operating point ``x``.
+
+        Returns the six signed Jacobian entries per device — rows
+        (d,d,d,s,s,s) against columns (d,g,s,d,g,s), shape
+        ``(6, n_mosfets)`` in the scalar scatter layout — and the
+        equivalent Newton currents ``ieq = J·x0 − ids0`` (stamped
+        positive at the drain, negative at the source).
+        """
+        vd = self._terminal_voltages(x, self.mos_d)
+        vg = self._terminal_voltages(x, self.mos_g)
+        vs = self._terminal_voltages(x, self.mos_s)
+        ids, did_dvd, did_dvg, did_dvs = mosfet_eval(
+            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
+        )
+        ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
+        vals = self._mos_sign * np.stack(
+            [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs]
+        )
+        return vals, ieq
+
+    def _stamp_mos_rhs(self, rhs: np.ndarray, ieq: np.ndarray) -> None:
+        """Scatter the Newton companion currents onto a scalar rhs."""
+        np.add.at(rhs, self.mos_d[self._mos_d_ok], ieq[self._mos_d_ok])
+        np.add.at(rhs, self.mos_s[self._mos_s_ok], -ieq[self._mos_s_ok])
 
     def stamp_mosfets(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
         """Stamp Newton-linearised MOSFETs at operating point ``x``.
@@ -347,21 +622,20 @@ class MnaSystem:
         """
         if self.n_mosfets == 0:
             return
-        vd = self._terminal_voltages(x, self.mos_d)
-        vg = self._terminal_voltages(x, self.mos_g)
-        vs = self._terminal_voltages(x, self.mos_s)
-        ids, did_dvd, did_dvg, did_dvs = mosfet_eval(
-            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
-        )
-        # Equivalent Newton current: rhs gets J·x0 - ids0 at the drain,
-        # the negative at the source.
-        ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
-        vals = self._mos_sign * np.stack(
-            [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs]
-        )
+        vals, ieq = self._mos_lin(x)
         np.add.at(a.reshape(-1), self._mos_flat, vals[self._mos_valid])
-        np.add.at(rhs, self.mos_d[self._mos_d_ok], ieq[self._mos_d_ok])
-        np.add.at(rhs, self.mos_s[self._mos_s_ok], -ieq[self._mos_s_ok])
+        self._stamp_mos_rhs(rhs, ieq)
+
+    def stamp_mosfets_data(self, data: np.ndarray, rhs: np.ndarray,
+                           x: np.ndarray, maps: SparseStampMaps) -> None:
+        """Pattern-frozen :meth:`stamp_mosfets`: stamp into a CSC data
+        vector through the precomputed index maps — O(nnz device fill),
+        no dense matrix."""
+        if self.n_mosfets == 0:
+            return
+        vals, ieq = self._mos_lin(x)
+        np.add.at(data, maps.mos_pos, vals[self._mos_valid])
+        self._stamp_mos_rhs(rhs, ieq)
 
     def stamp_mosfets_batch(self, a: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> None:
         """Batched :meth:`stamp_mosfets` over ``B`` operating points.
@@ -382,7 +656,14 @@ class MnaSystem:
         """
         if self.n_mosfets == 0:
             return
-        batch = x.shape[0]
+        vals, ieq = self._mos_lin_batch(x)
+        a_flat = a.reshape(x.shape[0], -1)
+        a_flat[:, self._mos_flat_uniq] += vals[:, self._mos_valid] @ self._mos_jac_scatter
+        self._stamp_mos_rhs_batch(rhs, ieq)
+
+    def _mos_lin_batch(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`_mos_lin`: ``(B, 6, n_mosfets)`` Jacobian
+        entries and ``(B, n_mosfets)`` companion currents."""
         xp = self._pad_ground(x)
         vd = xp[:, self.mos_d]
         vg = xp[:, self.mos_g]
@@ -391,15 +672,27 @@ class MnaSystem:
             vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
         )
         ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
-        # (B, 6, n_mosfets) Jacobian entries, same layout as the scalar path.
         vals = self._mos_sign[None, :, :] * np.stack(
             [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs], axis=1
         )
-        a_flat = a.reshape(batch, -1)
-        a_flat[:, self._mos_flat_uniq] += vals[:, self._mos_valid] @ self._mos_jac_scatter
+        return vals, ieq
+
+    def _stamp_mos_rhs_batch(self, rhs: np.ndarray, ieq: np.ndarray) -> None:
+        """Scatter companion currents onto stacked right-hand sides."""
         contrib = np.concatenate([ieq[:, self._mos_d_ok], -ieq[:, self._mos_s_ok]],
                                  axis=1)
         rhs[:, self._mos_rhs_uniq] += contrib @ self._mos_rhs_scatter
+
+    def stamp_mosfets_data_batch(self, data: np.ndarray, rhs: np.ndarray,
+                                 x: np.ndarray, maps: SparseStampMaps) -> None:
+        """Batched :meth:`stamp_mosfets_data`: ``data`` is ``(B, nnz)``,
+        the device fill of every variant folded through the shared
+        one-hot scatter (one BLAS call, shared symbolic pattern)."""
+        if self.n_mosfets == 0:
+            return
+        vals, ieq = self._mos_lin_batch(x)
+        data[:, maps.mos_pos_uniq] += vals[:, self._mos_valid] @ self._mos_jac_scatter
+        self._stamp_mos_rhs_batch(rhs, ieq)
 
     def mosfet_currents(self, x: np.ndarray) -> np.ndarray:
         """Drain currents of every MOSFET at solution ``x`` (amperes)."""
@@ -414,6 +707,110 @@ class MnaSystem:
         return ids
 
 
+class SparseNewtonStep:
+    """Pattern-frozen sparse Newton linear operator (one topology, one
+    base system).
+
+    Each solve stamps the linearised devices into a fresh copy of the
+    base CSC data vector — O(nnz) through the frozen scatter maps — and
+    pays one numeric SuperLU refactorization
+    (:class:`~repro.circuit.solvers.PatternFrozenLu`), replacing the
+    dense O(n²) re-stamp + O(n³) LU of the dense Newton path.  The
+    symbolic pattern is shared across iterations, steps and batch
+    variants.  Singular refactorizations raise
+    :class:`numpy.linalg.LinAlgError`; the Newton loops respond by
+    finishing the solve on the dense path.
+    """
+
+    kind = "sparse"
+
+    def __init__(self, mna: "MnaSystem", maps: SparseStampMaps,
+                 base_data: np.ndarray):
+        self._mna = mna
+        self._maps = maps
+        self._base = base_data
+        self._lu = PatternFrozenLu(maps.size, maps.indptr, maps.indices)
+
+    def solve(self, rhs_base: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One Newton linear solve at operating point ``x`` (``rhs_base``
+        is copied, never mutated)."""
+        data = self._base.copy()
+        rhs = rhs_base.copy()
+        self._mna.stamp_mosfets_data(data, rhs, x, self._maps)
+        return self._lu.refactor(data).solve(rhs)
+
+    def solve_batch(self, rhs: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Stacked solve over ``B`` operating points; ``rhs`` ``(B, n)``
+        is owned by this call (overwritten with companion terms).
+
+        Device evaluation and stamping are vectorised across the batch;
+        the numeric refactorizations — whose factors genuinely differ
+        per variant — run per variant against the shared symbolic
+        pattern.
+        """
+        batch = x.shape[0]
+        data = np.repeat(self._base[None, :], batch, axis=0)
+        self._mna.stamp_mosfets_data_batch(data, rhs, x, self._maps)
+        out = np.empty_like(rhs)
+        for b in range(batch):
+            out[b] = self._lu.refactor(data[b]).solve(rhs[b])
+        return out
+
+
+class BorderedNewtonStep:
+    """Block-bordered Newton linear operator (banded core + device border).
+
+    Wraps :class:`~repro.circuit.solvers.BorderedBanded` — core factor,
+    coupling solve and constant Schur part are built once per step size —
+    with the border-local device scatter: each Newton iteration only
+    assembles the ``(nb, nb)`` device delta and refactorises the
+    border-sized Schur complement.
+    """
+
+    kind = "banded"
+
+    def __init__(self, mna: "MnaSystem", partition: NewtonPartition,
+                 a_base: np.ndarray):
+        self._mna = mna
+        self._bb = BorderedBanded(a_base, partition.border, partition.core,
+                                  partition.core_structure)
+        nb = int(partition.border.size)
+        self._nb = nb
+        lookup = np.full(mna.size, -1, dtype=np.int64)
+        lookup[partition.border] = np.arange(nb)
+        n = mna.size
+        # Device fill lands entirely inside the border block, so every
+        # lookup is valid by construction of the partition.
+        self._flat = lookup[mna._mos_flat // n] * nb + lookup[mna._mos_flat % n]
+        self._flat_uniq = (lookup[mna._mos_flat_uniq // n] * nb
+                           + lookup[mna._mos_flat_uniq % n])
+
+    def solve(self, rhs_base: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """One Newton linear solve at ``x`` (``rhs_base`` copied)."""
+        mna = self._mna
+        vals, ieq = mna._mos_lin(x)
+        delta = np.zeros(self._nb * self._nb)
+        np.add.at(delta, self._flat, vals[mna._mos_valid])
+        rhs = rhs_base.copy()
+        mna._stamp_mos_rhs(rhs, ieq)
+        return self._bb.solve(rhs, delta.reshape(self._nb, self._nb))
+
+    def solve_batch(self, rhs: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Stacked solve; ``rhs`` ``(B, n)`` is owned by this call.
+
+        Fully vectorised across the batch: the border deltas fold
+        through the shared one-hot scatter and the Schur complements
+        factor through one stacked ``numpy.linalg.solve``.
+        """
+        mna = self._mna
+        batch = x.shape[0]
+        vals, ieq = mna._mos_lin_batch(x)
+        delta = np.zeros((batch, self._nb * self._nb))
+        delta[:, self._flat_uniq] += vals[:, mna._mos_valid] @ mna._mos_jac_scatter
+        mna._stamp_mos_rhs_batch(rhs, ieq)
+        return self._bb.solve(rhs, delta.reshape(batch, self._nb, self._nb))
+
+
 def stacked_newton(
     mna: MnaSystem,
     a_base: np.ndarray,
@@ -425,6 +822,7 @@ def stacked_newton(
     require_unlimited: bool = False,
     catch_singular: bool = False,
     stats: dict | None = None,
+    kernel: "SparseNewtonStep | BorderedNewtonStep | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Damped Newton over ``B`` stacked operating points; ``(x, converged)``.
 
@@ -455,7 +853,13 @@ def stacked_newton(
         propagating :class:`numpy.linalg.LinAlgError`.
     stats:
         Optional counter dict whose ``"newton_iters"`` entry is bumped
-        per iteration.
+        per iteration (and ``"newton_fallbacks"`` when a structured
+        kernel degrades to dense mid-solve).
+    kernel:
+        Optional pattern-frozen Newton operator (one of the step
+        objects above) replacing the dense stamp-and-solve.  A singular
+        structured refactorization drops back to the dense path for the
+        remainder of the solve.
     """
     x = x0.copy()
     m = x.shape[0]
@@ -464,15 +868,25 @@ def stacked_newton(
     active = np.arange(m)
     for _ in range(max_iter):
         sub = x[active]
-        a = np.broadcast_to(a_base, (active.size, *a_base.shape)).copy()
-        rhs = rhs_base[active].copy()
-        mna.stamp_mosfets_batch(a, rhs, sub)
-        try:
-            x_new = np.linalg.solve(a, rhs[..., None])[..., 0]
-        except np.linalg.LinAlgError:
-            if catch_singular:
-                return x, converged
-            raise
+        x_new = None
+        if kernel is not None:
+            try:
+                x_new = kernel.solve_batch(rhs_base[active].copy(), sub)
+            except np.linalg.LinAlgError:
+                if stats is not None:
+                    stats["newton_fallbacks"] = \
+                        stats.get("newton_fallbacks", 0) + 1
+                kernel = None
+        if x_new is None:
+            a = np.broadcast_to(a_base, (active.size, *a_base.shape)).copy()
+            rhs = rhs_base[active].copy()
+            mna.stamp_mosfets_batch(a, rhs, sub)
+            try:
+                x_new = np.linalg.solve(a, rhs[..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                if catch_singular:
+                    return x, converged
+                raise
         dx = x_new - sub
         dv = dx[:, :n_nodes]
         worst = np.max(np.abs(dv), axis=1) if n_nodes else np.zeros(active.size)

@@ -35,10 +35,32 @@ Three backends cover the workloads of this reproduction:
     band — star/mesh interconnect, bundles with many mutually coupled
     lines.
 
+MOSFET circuits — whose Jacobian *values* change every Newton iteration
+but whose sparsity *pattern* is fixed per topology (linear stamps plus
+device fill) — take the pattern-frozen Newton kernels instead of the
+factor-once contract:
+
+:class:`PatternFrozenLu`
+    The ``"sparse"`` Newton path.  The CSC pattern of the union fill is
+    frozen once; every Newton iteration supplies a fresh numeric ``data``
+    vector (updated in O(nnz) via the scatter maps on
+    :class:`~repro.circuit.mna.MnaSystem`) and pays one numeric SuperLU
+    factorization — never a dense O(n²) re-stamp or O(n³) dense LU.
+
+:class:`BorderedBanded`
+    The ``"banded"`` Newton path for gate-plus-interconnect topologies:
+    the device fill is confined to a small dense *border* while the
+    interconnect core permutes to a narrow band.  The banded core is
+    factored once per step size; each Newton iteration refactorises only
+    the border-sized Schur complement.
+
 Backend selection (:func:`select_backend`) is driven by a structural
 analysis of the matrix sparsity pattern (:func:`analyze_pattern`) —
 size, density and post-RCM bandwidth — computed once per circuit
-topology and cached on :class:`~repro.circuit.mna.MnaSystem`.
+topology and cached per topology signature (see
+:meth:`~repro.circuit.mna.MnaSystem.structure`); MOSFET circuits
+additionally consult the core/border partition
+(:meth:`~repro.circuit.mna.MnaSystem.newton_partition`).
 """
 
 from __future__ import annotations
@@ -79,6 +101,8 @@ __all__ = [
     "select_backend",
     "factorize",
     "sparse_csr",
+    "PatternFrozenLu",
+    "BorderedBanded",
     "HAVE_SCIPY",
 ]
 
@@ -94,6 +118,16 @@ _MIN_STRUCTURED_SIZE = 24
 _BANDED_MAX_BANDWIDTH = 12
 #: Density ceiling for the sparse backend.
 _SPARSE_MAX_DENSITY = 0.25
+#: MOSFET systems below this size keep the dense Newton path: stacked
+#: dense LU on a paper-scale testbench (~20–30 unknowns) beats the
+#: per-iteration overhead of a structured refactorization, and keeping
+#: the paper-scale experiments on the historical path pins their
+#: waveforms bit for bit.
+_MIN_NEWTON_SIZE = 64
+#: Border-size ceiling of the block-bordered Newton kernel: the Schur
+#: complement is refactorised dense every Newton iteration, so the
+#: border must stay gate-sized while the core carries the interconnect.
+_MAX_BORDER = 64
 
 
 @dataclass(frozen=True)
@@ -162,28 +196,51 @@ def analyze_pattern(pattern: np.ndarray) -> MatrixStructure:
 
 
 def select_backend(structure: MatrixStructure | None, n_mosfets: int = 0,
-                   requested: str = "auto") -> str:
+                   requested: str = "auto", partition=None) -> str:
     """Resolve a backend request to a concrete backend name.
 
     Parameters
     ----------
     structure:
-        Pattern analysis of the system matrix (``None`` is only accepted
-        for MOSFET circuits, which always resolve dense).
+        Pattern analysis of the system matrix.  ``None`` is accepted
+        whenever the resolution does not consult it (non-``"auto"``
+        requests, and the no-SciPy degradation).
     n_mosfets:
-        MOSFET circuits always resolve to ``"dense"``: their Newton
-        iterations re-stamp dense stacked Jacobians, so there is no fixed
-        matrix to structure-factor.
+        With MOSFETs present the names resolve to the *pattern-frozen
+        Newton* kernels instead of the factor-once linear solvers:
+        ``"sparse"`` is the frozen-pattern SuperLU refactorization
+        (:class:`PatternFrozenLu`), ``"banded"`` the block-bordered
+        kernel (:class:`BorderedBanded`, needs a viable ``partition``;
+        degrades to ``"sparse"`` without one).
     requested:
         One of :data:`BACKENDS`.  Non-``"auto"`` requests are honoured
-        verbatim (benchmarks and tests force specific paths), except that
-        structured backends degrade to ``"dense"`` without SciPy.
+        verbatim (benchmarks and tests force specific paths), except
+        that structured backends degrade to ``"dense"`` without SciPy
+        and a ``"banded"`` Newton request without a viable partition
+        degrades to ``"sparse"``.
+    partition:
+        The circuit's core/border split
+        (:meth:`~repro.circuit.mna.MnaSystem.newton_partition`), or
+        ``None`` when no viable one exists.  Only consulted for MOSFET
+        circuits.
     """
     require(requested in BACKENDS,
             f"unknown solver backend {requested!r}; expected one of {BACKENDS}")
-    if n_mosfets > 0:
-        return "dense"
     if not HAVE_SCIPY:
+        return "dense"
+    if n_mosfets > 0:
+        if requested == "banded":
+            return "banded" if partition is not None else "sparse"
+        if requested != "auto":
+            return requested
+        require(structure is not None,
+                "auto backend selection needs a structure")
+        if structure.size < _MIN_NEWTON_SIZE:
+            return "dense"
+        if partition is not None:
+            return "banded"
+        if structure.density <= _SPARSE_MAX_DENSITY:
+            return "sparse"
         return "dense"
     if requested != "auto":
         return requested
@@ -353,3 +410,106 @@ def sparse_csr(m: np.ndarray):
     if not HAVE_SCIPY:
         return None
     return _csr_matrix(m)
+
+
+class PatternFrozenLu:
+    """Numeric refactorisation over a frozen CSC sparsity pattern.
+
+    The linear engine of the sparse-Jacobian Newton path: the symbolic
+    pattern — the union of linear MNA stamps, capacitor companion
+    positions and MOSFET device fill, fixed per topology — is frozen at
+    construction; each :meth:`refactor` call takes only a fresh numeric
+    ``data`` vector (the caller updates it in O(nnz) through the scatter
+    maps of :class:`~repro.circuit.mna.SparseStampMaps`) and pays one
+    numeric SuperLU factorization.  No dense matrix is ever assembled.
+    """
+
+    def __init__(self, size: int, indptr: np.ndarray, indices: np.ndarray):
+        require(HAVE_SCIPY, "pattern-frozen sparse Newton requires scipy")
+        self._shape = (int(size), int(size))
+        self._indptr = np.asarray(indptr)
+        self._indices = np.asarray(indices)
+
+    def refactor(self, data: np.ndarray):
+        """Factor the matrix whose CSC data vector is ``data``.
+
+        Returns a SuperLU object (``.solve(rhs)``); raises
+        :class:`numpy.linalg.LinAlgError` on a singular matrix (SuperLU
+        signals it as ``RuntimeError``).
+        """
+        a = _csc_matrix((data, self._indices, self._indptr),
+                        shape=self._shape)
+        try:
+            return _splu(a)
+        except RuntimeError as exc:
+            raise np.linalg.LinAlgError(str(exc)) from exc
+
+
+class BorderedBanded:
+    """Block-bordered solve: banded core plus a small dense device border.
+
+    For gate-plus-interconnect topologies the MOSFET Jacobian fill is
+    confined to a small *border* (device terminal rows/columns plus the
+    voltage-source branch rows that live entirely among them) while the
+    remaining core — the RC interconnect — permutes to a narrow band.
+    Writing the permuted system as::
+
+        [B  E] [x1]   [r1]      B: banded core, constant per step size
+        [F  C] [x2] = [r2]      C: border block, device entries change
+                                   every Newton iteration
+
+    the core factor, the coupling solve ``Y = B⁻¹E`` and the constant
+    Schur part ``S₀ = C₀ − F·Y`` are computed once at construction (once
+    per step size); every :meth:`solve` only assembles the device delta
+    ``ΔC``, factors the border-sized dense ``S₀ + ΔC`` and
+    back-substitutes — O(n·b) banded sweeps plus O(n_border³) dense work
+    per Newton iteration instead of an O(n³) dense refactorization.
+
+    Raises :class:`numpy.linalg.LinAlgError` at construction when the
+    core is singular, and from :meth:`solve` when a Schur complement is.
+    """
+
+    def __init__(self, a: np.ndarray, border: np.ndarray, core: np.ndarray,
+                 core_structure: MatrixStructure):
+        require(HAVE_SCIPY, "bordered-banded Newton requires scipy")
+        require(border.size > 0 and core.size > 0,
+                "bordered solve needs non-empty border and core")
+        self._n = a.shape[0]
+        self._border = border
+        self._core = core
+        self._core_solver = BandedThomas(a[np.ix_(core, core)],
+                                         core_structure)
+        self._f = a[np.ix_(border, core)]
+        # Y = B⁻¹E, one multi-rhs banded sweep over the border columns.
+        self._y = self._core_solver.solve(a[np.ix_(core, border)].T).T
+        self._s0 = a[np.ix_(border, border)] - self._f @ self._y
+
+    @property
+    def n_border(self) -> int:
+        """Size of the dense border block."""
+        return int(self._border.size)
+
+    def solve(self, rhs: np.ndarray, delta_c: np.ndarray) -> np.ndarray:
+        """Solve with the border block perturbed by ``delta_c``.
+
+        ``rhs`` is ``(n,)`` with ``delta_c`` ``(nb, nb)``, or a stacked
+        ``(B, n)`` with ``(B, nb, nb)``; the result has the same leading
+        shape.
+        """
+        rhs = np.asarray(rhs, dtype=np.float64)
+        if rhs.ndim == 1:
+            w1 = self._core_solver.solve(rhs[self._core])
+            z2 = np.linalg.solve(self._s0 + delta_c,
+                                 rhs[self._border] - self._f @ w1)
+            x = np.empty(self._n)
+            x[self._core] = w1 - self._y @ z2
+            x[self._border] = z2
+            return x
+        w1 = self._core_solver.solve(rhs[:, self._core])
+        t = rhs[:, self._border] - w1 @ self._f.T
+        z2 = np.linalg.solve(self._s0[None, :, :] + delta_c,
+                             t[..., None])[..., 0]
+        x = np.empty_like(rhs)
+        x[:, self._core] = w1 - z2 @ self._y.T
+        x[:, self._border] = z2
+        return x

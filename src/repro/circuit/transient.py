@@ -104,8 +104,9 @@ size, density and reverse-Cuthill–McKee bandwidth, computed once per
 topology and cached on :class:`~repro.circuit.mna.MnaSystem` — selects
 the backend when ``TransientOptions.backend`` is ``"auto"``:
 
-* ``dense`` — stacked LAPACK LU; small systems, and the only choice for
-  MOSFET circuits (Newton re-stamps dense Jacobians every iteration).
+* ``dense`` — stacked LAPACK LU; small systems (including the
+  paper-scale MOSFET testbenches, whose Newton loops beat any
+  structured overhead at ~30 unknowns).
 * ``banded`` — RCM reordering plus banded LU sweeps: pure RC lines from
   :mod:`repro.interconnect.rcline` permute to tridiagonal form (the
   Thomas recursion), coupled bundles to block-tridiagonal; O(n·b) per
@@ -113,6 +114,22 @@ the backend when ``TransientOptions.backend`` is ``"auto"``:
   line-dominated netlists.
 * ``sparse`` — SuperLU factor reuse; large low-density systems that do
   not flatten to a narrow band (meshes, many-line bundles).
+
+MOSFET circuits take the *pattern-frozen Newton* interpretation of the
+same names: the Jacobian's sparsity pattern — linear stamps plus device
+fill — is fixed per topology, so each Newton iteration updates a
+preallocated nnz vector through precomputed scatter maps
+(O(nnz), :meth:`~repro.circuit.mna.MnaSystem.sparse_maps`) and pays only
+a *numeric* refactorization.  ``sparse`` refactorises with SuperLU
+against the frozen symbolic pattern; ``banded`` is the block-bordered
+kernel for gate-plus-interconnect topologies — the banded interconnect
+core is factored once per step size and each iteration refactorises only
+the border-sized Schur complement of the device block
+(:meth:`~repro.circuit.mna.MnaSystem.newton_partition`).  ``auto``
+engages them past ~64 unknowns; singular structured refactorizations
+fall back to the dense Newton path mid-solve (counted in
+``stats["newton_fallbacks"]``).  This is what extends the node-count
+ceiling to gate-plus-interconnect netlists, not just passive lines.
 
 DC operating points of batched groups take the same treatment:
 :func:`~repro.circuit.dc.dc_operating_point_batch` solves every
@@ -195,7 +212,9 @@ class TransientOptions:
         Linear-solver backend for the per-step solves: ``"auto"``
         (default — selected from the topology's sparsity pattern, see
         the module docstring), or force ``"dense"`` / ``"sparse"`` /
-        ``"banded"``.  MOSFET circuits always solve dense.
+        ``"banded"``.  On MOSFET circuits the structured names select
+        the pattern-frozen Newton kernels (sparse refactorization /
+        block-bordered banded).
     adaptive:
         ``True`` enables LTE-controlled adaptive time stepping (see the
         module docstring).  The result then lives on a non-uniform
@@ -416,14 +435,23 @@ class _StepMatrixCache:
         self.mna = mna
         self._dt = dt
         self._factorize = mna.n_mosfets == 0
-        # The pattern/RCM analysis is only consulted by auto selection
-        # and the banded factorization — MOSFET circuits and forced
-        # dense/sparse runs (e.g. the benchmark baseline) skip it.
+        # The pattern/RCM analysis is only consulted where selection (or
+        # the banded factorization) needs it — forced dense/sparse runs
+        # (e.g. the benchmark baselines) skip it.  MOSFET circuits
+        # additionally consult the core/border partition: "auto" and
+        # "banded" requests resolve to the block-bordered Newton kernel
+        # when a viable one exists.
+        need_structure = (backend in ("auto", "banded") if self._factorize
+                          else backend == "auto")
         self._structure = mna.structure(include_caps=True) \
-            if self._factorize and backend in ("auto", "banded") else None
-        self.backend = select_backend(self._structure, mna.n_mosfets, backend)
+            if need_structure else None
+        self._partition = mna.newton_partition() \
+            if mna.n_mosfets and backend in ("auto", "banded") else None
+        self.backend = select_backend(self._structure, mna.n_mosfets, backend,
+                                      partition=self._partition)
         self._entries: "OrderedDict[float, tuple[np.ndarray, object | None, float]]" \
             = OrderedDict()
+        self._kernels: "OrderedDict[float, object]" = OrderedDict()
         self.builds = 0
         # Padded-gather indices: ground terminals read the zero pad column.
         self._gi = np.where(mna.cap_i >= 0, mna.cap_i, mna.size)
@@ -477,6 +505,36 @@ class _StepMatrixCache:
             self._entries.move_to_end(h)
         return entry
 
+    def newton_kernel(self, h: float):
+        """The pattern-frozen Newton operator for step value ``h``.
+
+        ``None`` for linear systems and for the dense Newton backend.
+        The per-``h`` operators (the bordered kernel re-factors its
+        banded core per step size, the sparse kernel re-scatters its
+        companion conductances) are LRU-bounded alongside the matrix
+        entries.  A bordered kernel whose core factorization fails at
+        this step size degrades to the sparse kernel.
+        """
+        mna = self.mna
+        if mna.n_mosfets == 0 or self.backend == "dense":
+            return None
+        kernel = self._kernels.get(h)
+        if kernel is None:
+            if self.backend == "banded":
+                a_base, _, h = self.get_h(h)
+                try:
+                    kernel = mna.bordered_newton_step(a_base)
+                except np.linalg.LinAlgError:
+                    kernel = mna.sparse_newton_step(h)
+            else:
+                kernel = mna.sparse_newton_step(h)
+            self._kernels[h] = kernel
+            while len(self._kernels) > _STEP_CACHE_ENTRIES:
+                self._kernels.popitem(last=False)
+        else:
+            self._kernels.move_to_end(h)
+        return kernel
+
     def cap_gather(self, x: np.ndarray) -> np.ndarray:
         """Voltage across every capacitor for stacked solutions ``(B, size)``.
 
@@ -517,14 +575,30 @@ def _newton_solve(
     x0: np.ndarray,
     opts: TransientOptions,
     stats: dict,
+    kernel=None,
 ) -> np.ndarray | None:
-    """Newton iteration for ``a_base``-plus-MOSFETs; ``None`` on failure."""
+    """Newton iteration for ``a_base``-plus-MOSFETs; ``None`` on failure.
+
+    ``kernel`` optionally supplies a pattern-frozen structured linear
+    operator (sparse refactorization or bordered-banded Schur solve); a
+    singular structured refactorization falls back to the dense path for
+    the remainder of the solve.
+    """
     x = x0.copy()
     for _ in range(opts.max_newton):
-        a = a_base.copy()
-        rhs = rhs_base.copy()
-        mna.stamp_mosfets(a, rhs, x)
-        x_new = np.linalg.solve(a, rhs)
+        x_new = None
+        if kernel is not None:
+            try:
+                x_new = kernel.solve(rhs_base, x)
+            except np.linalg.LinAlgError:
+                stats["newton_fallbacks"] = \
+                    stats.get("newton_fallbacks", 0) + 1
+                kernel = None
+        if x_new is None:
+            a = a_base.copy()
+            rhs = rhs_base.copy()
+            mna.stamp_mosfets(a, rhs, x)
+            x_new = np.linalg.solve(a, rhs)
         dx = x_new - x
         dv = dx[: mna.n_nodes]
         worst = float(np.max(np.abs(dv))) if dv.size else 0.0
@@ -545,6 +619,7 @@ def _newton_solve_batch(
     x0: np.ndarray,
     opts: TransientOptions,
     stats: dict,
+    kernel=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched Newton over stacked variants; returns ``(x, converged)``.
 
@@ -554,7 +629,7 @@ def _newton_solve_batch(
     """
     return stacked_newton(mna, a_base, rhs_base, x0, abstol=opts.abstol,
                           max_iter=opts.max_newton, v_limit=opts.v_limit,
-                          require_unlimited=True, stats=stats)
+                          require_unlimited=True, stats=stats, kernel=kernel)
 
 
 def _advance_scalar(
@@ -590,7 +665,8 @@ def _advance_scalar(
     if solver is not None:
         x_new = solver.solve(rhs)
     else:
-        x_new = _newton_solve(mna, a_base, rhs, x_prev, opts, stats)
+        x_new = _newton_solve(mna, a_base, rhs, x_prev, opts, stats,
+                              kernel=cache.newton_kernel(h))
     if x_new is None:
         if halvings_left <= 0 or (opts.min_step > 0.0
                                   and h / 2 < opts.min_step):
@@ -612,18 +688,19 @@ def _initial_state(
     t_start: float,
     initial_voltages: Mapping[str, float] | None,
     use_ic: bool,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Initial MNA solution: exact ``UIC`` state or a seeded DC solve."""
     if use_ic:
         return mna.seed_vector(initial_voltages)
     return dc_operating_point(circuit, at_time=t_start,
                               initial_voltages=dict(initial_voltages or {}),
-                              mna=mna).solution
+                              mna=mna, backend=backend).solution
 
 
 def _new_stats(**extra) -> dict:
     stats = {"newton_iters": 0, "halvings": 0, "matrix_builds": 0,
-             "batch_size": 1, "backend": "dense"}
+             "batch_size": 1, "backend": "dense", "newton_fallbacks": 0}
     stats.update(extra)
     return stats
 
@@ -642,7 +719,8 @@ def _simulate_scalar(
     require(t_stop > t_start, "t_stop must exceed t_start")
     require(dt > 0.0, "dt must be positive")
 
-    x = _initial_state(circuit, mna, t_start, initial_voltages, use_ic)
+    x = _initial_state(circuit, mna, t_start, initial_voltages, use_ic,
+                       backend=opts.backend)
 
     n_steps = int(round((t_stop - t_start) / dt))
     require(n_steps >= 1, "simulation window shorter than one step")
@@ -750,7 +828,8 @@ def _advance_batch(
         rhs += cache.cap_scatter(ieq_prev)
 
     fallback: list[tuple[int, np.ndarray]] = []
-    x_new, ok = _newton_solve_batch(mna0, a_base, rhs, x_prev, opts, stats)
+    x_new, ok = _newton_solve_batch(mna0, a_base, rhs, x_prev, opts, stats,
+                                    kernel=cache.newton_kernel(h))
 
     if not ok.all():
         if opts.max_halvings < 1:
@@ -1045,13 +1124,14 @@ def _simulate_adaptive(jobs: Sequence[TransientJob],
                 # Scalar Newton for singleton groups: same iterates as
                 # the stacked loop without its broadcasting overhead.
                 x_one = _newton_solve(mna0, a_base, rhs[0], x_al[0], opts,
-                                      stats)
+                                      stats, kernel=cache.newton_kernel(h))
                 ok_all = x_one is not None
                 ok = np.array([ok_all])
                 x_cand = x_one[None, :] if ok_all else x_al.copy()
             else:
                 x_cand, ok = _newton_solve_batch(mna0, a_base, rhs, x_al,
-                                                 opts, stats)
+                                                 opts, stats,
+                                                 kernel=cache.newton_kernel(h))
                 ok_all = bool(ok.all())
             if not ok_all and m > 1:
                 # Newton trouble on a grown stride: shrink it rather than

@@ -19,8 +19,9 @@ batched engine (PR 1) and the structured solver backends (PR 2):
 
 from .config import (ExecutionConfig, default_execution,
                      set_default_execution, store_max_bytes)
-from .pool import make_shards, run_jobs
-from .store import STORE_VERSION, ResultStore, UnkeyableJobError, job_key
+from .pool import job_cost, make_shards, run_jobs
+from .store import (STORE_VERSION, DcStoreMemo, ResultStore,
+                    UnkeyableJobError, dc_key, job_key)
 
 __all__ = [
     "ExecutionConfig",
@@ -29,8 +30,11 @@ __all__ = [
     "store_max_bytes",
     "run_jobs",
     "make_shards",
+    "job_cost",
     "ResultStore",
+    "DcStoreMemo",
     "job_key",
+    "dc_key",
     "UnkeyableJobError",
     "STORE_VERSION",
 ]

@@ -26,10 +26,27 @@ import os
 from dataclasses import dataclass
 
 from .._util import require
-from .store import DEFAULT_MAX_BYTES, ResultStore
+from ..circuit import dc as _dc
+from .store import DEFAULT_MAX_BYTES, DcStoreMemo, ResultStore
 
 __all__ = ["ExecutionConfig", "default_execution", "set_default_execution",
            "store_max_bytes"]
+
+
+def _install_dc_memo(config: "ExecutionConfig | None") -> None:
+    """Mirror the default config's store into the circuit layer's DC memo.
+
+    DC operating points are solved deep inside the circuit layer
+    (transient initial states, characterisation sweeps) where no
+    ``ExecutionConfig`` travels, so the *default* config's store is
+    installed process-wide through :func:`repro.circuit.dc.set_dc_memo`;
+    a config without a store uninstalls it.  Configs passed explicitly
+    to ``run_jobs`` do not touch the hook — their stores memoise
+    transient results only.
+    """
+    _dc.set_dc_memo(DcStoreMemo(config.store)
+                    if config is not None and config.store is not None
+                    else None)
 
 
 def store_max_bytes(env: "os._Environ | dict" = os.environ) -> int:
@@ -98,6 +115,7 @@ def default_execution() -> ExecutionConfig:
     global _DEFAULT
     if _DEFAULT is None:
         _DEFAULT = ExecutionConfig.from_env()
+        _install_dc_memo(_DEFAULT)
     return _DEFAULT
 
 
@@ -105,9 +123,11 @@ def set_default_execution(config: ExecutionConfig | None) -> ExecutionConfig | N
     """Install a new process-wide default; returns the previous one.
 
     ``None`` resets to "unset": the next :func:`default_execution` call
-    re-reads the environment.
+    re-reads the environment.  The DC operating-point memo follows the
+    installed default (see :func:`_install_dc_memo`).
     """
     global _DEFAULT
     previous = _DEFAULT
     _DEFAULT = config
+    _install_dc_memo(config)
     return previous

@@ -40,7 +40,6 @@ unpicklables never cross the process boundary.
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import sys
 from collections.abc import Sequence
@@ -53,7 +52,7 @@ from ..circuit.transient import (TransientJob, TransientResult, job_group_key,
                                  simulate_transient_many)
 from .config import ExecutionConfig, default_execution
 
-__all__ = ["run_jobs", "make_shards"]
+__all__ = ["run_jobs", "make_shards", "job_cost"]
 
 
 def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarray, dict]]:
@@ -62,42 +61,68 @@ def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarr
     return [(r.times, r._x, r.stats) for r in results]
 
 
+def job_cost(job: TransientJob, mna: MnaSystem) -> float:
+    """Relative wall-clock estimate of one transient job.
+
+    ``n_steps × size² × (1 + n_mosfets)``: the per-step cost of every
+    engine is dominated by work over the (size × size) system, and
+    MOSFET circuits pay it once per Newton *iteration* rather than once
+    per step — the device count is the cheap proxy for how many.  Only
+    relative magnitudes matter; the units are arbitrary.
+    """
+    n_steps = max(1, int(round((job.t_stop - job.t_start) / job.dt)))
+    return float(n_steps) * float(mna.size) ** 2 * (1.0 + mna.n_mosfets)
+
+
 def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
                 mnas: Sequence[MnaSystem], n_workers: int) -> list[list[int]]:
     """Partition job ``indices`` into at most ``n_workers`` shards.
 
     Groups of batch-compatible jobs (equal
     :func:`~repro.circuit.transient.job_group_key`) are kept contiguous
-    so each worker still batches internally; a group larger than the
-    per-worker target is split into chunks — except *adaptive* groups
-    (``TransientOptions.adaptive``), which always stay whole: the
-    LTE-controlled engine advances a group in lockstep on the minimum
-    accepted stride, so a job's accepted grid depends on its group
-    membership, and splitting would make the sharded run diverge from
-    the serial one.  Chunks go to the least-loaded shard (ties to the
-    lowest shard index), which is deterministic for a given job list and
-    worker count.
+    so each worker still batches internally; a group whose estimated
+    cost (:func:`job_cost` — heterogeneous Table-1 + interconnect mixes
+    are *not* uniform per job, so raw job counts skew wall-clock)
+    exceeds the per-worker cost target is split into chunks — except
+    *adaptive* groups (``TransientOptions.adaptive``), which always stay
+    whole: the LTE-controlled engine advances a group in lockstep on the
+    minimum accepted stride, so a job's accepted grid depends on its
+    group membership, and splitting would make the sharded run diverge
+    from the serial one.  Chunks go to the least-loaded shard by
+    accumulated cost (ties to the lowest shard index), which is
+    deterministic for a given job list and worker count.
     """
     groups: dict[tuple, list[int]] = {}
     for k in indices:
         groups.setdefault(job_group_key(jobs[k], mnas[k]), []).append(k)
-    target = max(1, math.ceil(len(indices) / n_workers))
+    costs = {k: job_cost(jobs[k], mnas[k]) for k in indices}
+    target = sum(costs.values()) / max(1, n_workers)
 
-    chunks: list[list[int]] = []
+    chunks: list[tuple[list[int], float]] = []
     for members in groups.values():
         opts = jobs[members[0]].options
         if opts is not None and opts.adaptive:
-            chunks.append(members)
+            chunks.append((members, sum(costs[k] for k in members)))
             continue
-        for lo in range(0, len(members), target):
-            chunks.append(members[lo:lo + target])
+        chunk: list[int] = []
+        chunk_cost = 0.0
+        for k in members:
+            if chunk and chunk_cost + costs[k] > target:
+                chunks.append((chunk, chunk_cost))
+                chunk, chunk_cost = [], 0.0
+            chunk.append(k)
+            chunk_cost += costs[k]
+        if chunk:
+            chunks.append((chunk, chunk_cost))
 
     shards: list[list[int]] = [[] for _ in range(n_workers)]
-    loads = [0] * n_workers
-    for chunk in sorted(chunks, key=len, reverse=True):
+    loads = [0.0] * n_workers
+    # Stable sort: equal-cost chunks keep their group build order, so the
+    # assignment is a pure function of the job list and worker count.
+    for chunk, cost in sorted(chunks, key=lambda c: c[1], reverse=True):
         w = loads.index(min(loads))
         shards[w].extend(chunk)
-        loads[w] += len(chunk)
+        loads[w] += cost
     return [s for s in shards if s]
 
 

@@ -63,7 +63,8 @@ from .._util import require
 from ..circuit.mna import MnaSystem
 from ..circuit.transient import TransientJob, TransientOptions, TransientResult
 
-__all__ = ["STORE_VERSION", "UnkeyableJobError", "ResultStore", "job_key"]
+__all__ = ["STORE_VERSION", "UnkeyableJobError", "ResultStore", "job_key",
+           "dc_key", "DcStoreMemo"]
 
 #: Bump when solver numerics change in a way that should invalidate
 #: previously stored waveforms.
@@ -73,7 +74,12 @@ __all__ = ["STORE_VERSION", "UnkeyableJobError", "ResultStore", "job_key"]
 #:     (``adaptive``/``lte_rtol``/``lte_atol``/``max_step``/``min_step``)
 #:     that participate in the key, so pre-adaptive entries — which were
 #:     keyed without a stepping mode — must stop matching.
-STORE_VERSION = 2
+#: 3 — pattern-frozen sparse Newton for MOSFET circuits: large gate +
+#:     interconnect netlists now iterate through structured
+#:     refactorizations whose waveforms differ from the dense path at
+#:     the ~1e-12 V level, and the store gained DC operating-point
+#:     entries (:func:`dc_key`) alongside the transient ones.
+STORE_VERSION = 3
 
 #: Default size budget of a store (bytes) unless overridden.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
@@ -190,6 +196,38 @@ def job_key(job: TransientJob, mna: MnaSystem | None = None) -> str:
     return h.hexdigest()
 
 
+def dc_key(circuit, mna: MnaSystem, at_time: float,
+           seed: "Mapping[str, float] | None") -> str:
+    """SHA-256 content key of a DC operating-point solve (hex digest).
+
+    Same canonical machinery as :func:`job_key` over what determines the
+    operating point: topology signature, source fingerprints, the sample
+    time and the Newton seed (which steers the solution a multi-stable
+    circuit converges to, so it keys the entry).  The solver backend is
+    deliberately excluded — every backend computes the same point.
+
+    Raises
+    ------
+    UnkeyableJobError
+        When a source function has no canonical fingerprint.
+    """
+    h = hashlib.sha256()
+    _update(h, ("repro-dc-op", STORE_VERSION))
+    _update(h, mna.topology_signature())
+    try:
+        _update(h, tuple(v.source.content_fingerprint()
+                         for v in circuit.vsources))
+        _update(h, tuple(i.source.content_fingerprint()
+                         for i in circuit.isources))
+    except NotImplementedError as exc:
+        raise UnkeyableJobError(str(exc)) from exc
+    _update(h, float(at_time))
+    _update(h, tuple(sorted(
+        (str(node), float(v)) for node, v in (seed or {}).items()
+    )))
+    return h.hexdigest()
+
+
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
@@ -230,6 +268,12 @@ class ResultStore:
         self.stores = 0
         self.uncacheable = 0
         self.write_errors = 0
+        # DC operating-point entries are counted apart from the transient
+        # ones: the warm-run contracts differ ("zero transient solves"
+        # vs "zero DC Newton solves") and tests spy them separately.
+        self.dc_hits = 0
+        self.dc_misses = 0
+        self.dc_stores = 0
 
     # -- keys ----------------------------------------------------------
     def key_for(self, job: TransientJob, mna: MnaSystem | None = None) -> str | None:
@@ -244,28 +288,24 @@ class ResultStore:
         return self.root / f"{key}.npz"
 
     # -- lookup / store ------------------------------------------------
-    def lookup(self, key: str, job: TransientJob,
-               mna: MnaSystem | None = None) -> TransientResult | None:
-        """The stored result rebuilt against ``job``'s circuit, or ``None``.
+    def _read_entry(self, key: str, decode):
+        """Load an entry through ``decode`` (which raises on a bad
+        payload); shared by every entry kind the way writes share
+        :meth:`_write_entry`.
 
-        A present-but-unreadable (or mis-shaped) entry counts as
-        ``corrupt``, is deleted, and reads as a miss — the caller
-        re-simulates and re-stores.
+        Returns the decoded value, or ``None`` when the entry is absent
+        or corrupt — corrupt entries are counted, deleted and thereby
+        healed; present ones get their LRU recency refreshed.  Per-kind
+        hit/miss accounting stays with the callers.
         """
         path = self._path(key)
         if not path.is_file():
-            self.misses += 1
             return None
-        mna = mna if mna is not None else MnaSystem(job.circuit)
         try:
             with np.load(path, allow_pickle=False) as data:
-                times = np.array(data["times"], dtype=np.float64)
-                x = np.array(data["x"], dtype=np.float64)
-            require(times.ndim == 1 and times.size >= 2, "bad time axis")
-            require(x.shape == (times.size, mna.size), "solution shape mismatch")
+                value = decode(data)
         except Exception:
             self.corrupt += 1
-            self.misses += 1
             self._total_bytes = None  # entry removed outside _evict
             try:
                 path.unlink()
@@ -276,8 +316,36 @@ class ResultStore:
             os.utime(path)  # refresh LRU recency
         except OSError:
             pass
+        return value
+
+    def lookup(self, key: str, job: TransientJob,
+               mna: MnaSystem | None = None) -> TransientResult | None:
+        """The stored result rebuilt against ``job``'s circuit, or ``None``.
+
+        A present-but-unreadable (or mis-shaped) entry counts as
+        ``corrupt``, is deleted, and reads as a miss — the caller
+        re-simulates and re-stores.
+        """
+        if not self._path(key).is_file():
+            self.misses += 1
+            return None
+        mna = mna if mna is not None else MnaSystem(job.circuit)
+
+        def decode(data):
+            times = np.array(data["times"], dtype=np.float64)
+            x = np.array(data["x"], dtype=np.float64)
+            require(times.ndim == 1 and times.size >= 2, "bad time axis")
+            require(x.shape == (times.size, mna.size),
+                    "solution shape mismatch")
+            return times, x
+
+        payload = self._read_entry(key, decode)
+        if payload is None:
+            self.misses += 1
+            return None
         self.hits += 1
-        return TransientResult(mna, times, x, stats={"source": "store"})
+        return TransientResult(mna, payload[0], payload[1],
+                               stats={"source": "store"})
 
     def discard_hit(self) -> None:
         """Recount one successful :meth:`lookup` as a miss.
@@ -293,6 +361,11 @@ class ResultStore:
 
     def store(self, key: str, result: TransientResult) -> None:
         """Insert a result atomically, then evict LRU entries over budget."""
+        self._write_entry(key, times=result.times, x=result._x)
+        self.stores += 1
+
+    def _write_entry(self, key: str, **arrays: np.ndarray) -> None:
+        """Atomic ``.npz`` insert shared by every entry kind."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         existing = 0
@@ -304,7 +377,7 @@ class ResultStore:
         tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
         try:
             with open(tmp, "wb") as f:
-                np.savez(f, times=result.times, x=result._x)
+                np.savez(f, **arrays)
             written = tmp.stat().st_size
             os.replace(tmp, path)
         finally:
@@ -313,7 +386,6 @@ class ResultStore:
                     tmp.unlink()
                 except OSError:
                     pass
-        self.stores += 1
         self._stores_since_rescan += 1
         if self._stores_since_rescan >= _RESCAN_EVERY:
             self._total_bytes = None  # pick up concurrent writers' bytes
@@ -321,6 +393,43 @@ class ResultStore:
             self._total_bytes += written - existing
         if self.total_bytes() > self.max_bytes:
             self._evict(keep=path)
+
+    # -- DC operating points -------------------------------------------
+    def dc_key_for(self, circuit, mna: MnaSystem, at_time: float,
+                   seed: "Mapping[str, float] | None") -> str | None:
+        """The DC solve's content key, or ``None`` (counted) when
+        uncacheable."""
+        try:
+            return dc_key(circuit, mna, at_time, seed)
+        except UnkeyableJobError:
+            self.uncacheable += 1
+            return None
+
+    def lookup_dc(self, key: str, mna: MnaSystem) -> np.ndarray | None:
+        """The stored operating-point solution vector, or ``None``.
+
+        Same corruption contract as :meth:`lookup` (shared through
+        :meth:`_read_entry`): an unreadable or mis-shaped entry counts
+        as ``corrupt``, is deleted and reads as a miss.
+        """
+        def decode(data):
+            solution = np.array(data["dc"], dtype=np.float64)
+            require(solution.shape == (mna.size,),
+                    "dc solution shape mismatch")
+            return solution
+
+        solution = self._read_entry(key, decode)
+        if solution is None:
+            self.dc_misses += 1
+            return None
+        self.dc_hits += 1
+        return solution
+
+    def store_dc(self, key: str, solution: np.ndarray) -> None:
+        """Insert a DC operating point atomically (LRU eviction shared
+        with the transient entries)."""
+        self._write_entry(key, dc=np.asarray(solution, dtype=np.float64))
+        self.dc_stores += 1
 
     def _entries(self) -> list[tuple[float, int, Path]]:
         """All entries as ``(mtime, size, path)``, oldest first."""
@@ -370,6 +479,9 @@ class ResultStore:
         self.stores = 0
         self.uncacheable = 0
         self.write_errors = 0
+        self.dc_hits = 0
+        self.dc_misses = 0
+        self.dc_stores = 0
 
     def clear(self) -> None:
         """Delete every on-disk entry and reset all counters."""
@@ -395,7 +507,37 @@ class ResultStore:
             "stores": self.stores,
             "uncacheable": self.uncacheable,
             "write_errors": self.write_errors,
+            "dc_hits": self.dc_hits,
+            "dc_misses": self.dc_misses,
+            "dc_stores": self.dc_stores,
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "root": str(self.root),
         }
+
+
+class DcStoreMemo:
+    """Adapter presenting a :class:`ResultStore` as the circuit layer's
+    DC operating-point memo (:func:`repro.circuit.dc.set_dc_memo`).
+
+    Lives here rather than in the circuit layer so ``repro.circuit``
+    keeps zero knowledge of the execution layer; the execution config
+    installs one whenever a store is configured.
+    """
+
+    def __init__(self, store: ResultStore):
+        self._store = store
+
+    def key(self, circuit, mna, at_time, seed) -> str | None:
+        return self._store.dc_key_for(circuit, mna, at_time, seed)
+
+    def lookup(self, key: str, mna) -> np.ndarray | None:
+        return self._store.lookup_dc(key, mna)
+
+    def store(self, key: str, solution: np.ndarray) -> None:
+        try:
+            self._store.store_dc(key, solution)
+        except Exception:
+            # Persistence is an optimisation — degrade, never fail the
+            # solve that produced the operating point.
+            self._store.write_errors += 1

@@ -205,3 +205,56 @@ class TestWorkerCrashFallback:
         results = run_jobs(jobs, ExecutionConfig(workers=2), diag=diag)
         assert diag["mode"] == "serial" and diag["fallback_shards"] >= 1
         assert_equivalent(simulate_transient_many(jobs), results)
+
+
+class TestCostBalancedShards:
+    """make_shards balances by estimated job cost (steps × size² ×
+    (1 + n_mosfets)), not raw job count — heterogeneous Table-1 +
+    interconnect mixes would otherwise skew wall-clock."""
+
+    def test_cost_model_orders_jobs_sensibly(self):
+        small = rc_job(1e3, 10e-12)
+        deep = rc_job(1e3, 10e-12, n_stages=30)
+        assert pool_mod.job_cost(deep, MnaSystem(deep.circuit)) \
+            > 10 * pool_mod.job_cost(small, MnaSystem(small.circuit))
+        # Same topology, longer window → proportionally costlier.
+        long = rc_job(1e3, 10e-12, t_stop=1.6e-9)
+        assert pool_mod.job_cost(long, MnaSystem(long.circuit)) \
+            == pytest.approx(2 * pool_mod.job_cost(
+                rc_job(1e3, 10e-12, t_stop=0.8e-9),
+                MnaSystem(small.circuit)))
+        # MOSFETs multiply the per-step cost (Newton iterations).
+        mosfet = inverter_job(80e-12)
+        mna = MnaSystem(mosfet.circuit)
+        n_steps = round((mosfet.t_stop - mosfet.t_start) / mosfet.dt)
+        assert pool_mod.job_cost(mosfet, mna) == pytest.approx(
+            n_steps * mna.size ** 2 * (1 + mna.n_mosfets))
+
+    def test_heterogeneous_mix_splits_expensive_group(self):
+        big = [rc_job(1e3, 10e-12 * k, n_stages=30) for k in range(2)]
+        small = [rc_job(1e3, 10e-12 * k) for k in range(6)]
+        jobs = big + small
+        mnas = [MnaSystem(j.circuit) for j in jobs]
+        costs = [pool_mod.job_cost(j, m) for j, m in zip(jobs, mnas)]
+        shards = make_shards(list(range(len(jobs))), jobs, mnas, 2)
+        assert len(shards) == 2
+        # The two expensive jobs must not share a shard (count-based
+        # chunking kept their group whole and skewed one worker).
+        locate = {k: i for i, s in enumerate(shards) for k in s}
+        assert locate[0] != locate[1]
+        loads = [sum(costs[k] for k in s) for s in shards]
+        assert max(loads) <= 0.7 * sum(costs)
+
+    def test_equal_costs_still_split_evenly(self):
+        jobs = [rc_job(1e3, 10e-12 * k) for k in range(8)]
+        mnas = [MnaSystem(j.circuit) for j in jobs]
+        shards = make_shards(list(range(8)), jobs, mnas, 2)
+        assert sorted(len(s) for s in shards) == [4, 4]
+
+    def test_cost_balanced_run_matches_serial(self):
+        jobs = [rc_job(1e3, 10e-12 * k, n_stages=30) for k in range(2)] \
+            + [inverter_job(60e-12 + 20e-12 * k) for k in range(3)] \
+            + [rc_job(1e3, 10e-12 * k) for k in range(4)]
+        serial = simulate_transient_many(jobs)
+        sharded = run_jobs(jobs, ExecutionConfig(workers=2))
+        assert_equivalent(serial, sharded)
