@@ -1,0 +1,181 @@
+"""Array-kernel backends: numba-compiled hot loops vs the NumPy engine.
+
+Two workloads bracket the transient engine's regimes:
+
+* **table1** — the paper-scale batched Table-1 sweep (Figure 1
+  testbench, 16 aggressor alignments, dense solver): small matrices
+  where per-step Python dispatch dominates and the fused dense Newton
+  kernel pays off most.
+* **deep192** — a gate driving a 192-segment coupled RC line bundle,
+  64 stacked aggressor alignments through the block-bordered banded
+  path: the fused bordered kernel additionally hoists the
+  iteration-constant banded core sweep out of the Newton iteration
+  (one batched ``gbtrs`` per step instead of one per iteration) and
+  iterates in border-sized arithmetic.
+
+Gates (enforced only when numba is importable — the kernels are a
+performance layer, so a numba-less host records ``numba_unavailable``
+instead of failing): ≥ {GATE_TABLE1}× on table1, ≥ {GATE_DEEP}× on
+deep192, < 1e-9 V deviation between backends everywhere.  The NumPy
+backend *is* the reference engine — fused dispatch is bypassed, the
+vectorised loops run unchanged (bit-identical to the pre-kernel
+engine) — so "numba vs numpy" here reads as "numba vs today's engine"
+and the pure-NumPy path carries zero overhead by construction.
+
+Timings take the best of ``REPEATS`` interleaved runs per backend;
+``BENCH_kernel.json`` lands next to the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuit.kernels import HAVE_NUMBA, resolve_kernel, set_default_kernel
+from repro.circuit.kernels.backend import NUMPY_KERNEL
+from repro.circuit.mna import MnaSystem
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import (BatchStimulus, TransientOptions,
+                                     simulate_transient_batch)
+from repro.experiments.setup import (CONFIG_I, CrosstalkConfig,
+                                     build_testbench)
+
+GATE_TABLE1 = 1.5
+GATE_DEEP = 2.0
+VOLTAGE_TOL = 1e-9
+REPEATS = 2
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+
+def _table1_workload():
+    tb = build_testbench(CONFIG_I, 0.2e-9, (0.25e-9,))
+    stimuli = [
+        BatchStimulus(sources={"Vy": RampSource(0.25e-9 + k * 0.01e-9,
+                                                150e-12, 1.2, 0.0)},
+                      initial_voltages=tb.initial_voltages)
+        for k in range(16)
+    ]
+    return {"name": "table1", "tb": tb, "stimuli": stimuli,
+            "t_stop": 1.1e-9, "dt": 2e-12, "backend": "dense",
+            "gate": GATE_TABLE1}
+
+
+def _deep192_workload():
+    config = CrosstalkConfig(name="kernel192", n_aggressors=1,
+                             line_length_um=1000.0,
+                             coupling_per_aggressor=100e-15,
+                             n_segments=192)
+    tb = build_testbench(config, 0.05e-9, (0.06e-9,))
+    stimuli = [
+        BatchStimulus(sources={"Vy": RampSource(0.06e-9 + k * 0.002e-9,
+                                                150e-12, 1.2, 0.0)},
+                      initial_voltages=tb.initial_voltages)
+        for k in range(64)
+    ]
+    return {"name": "deep192", "tb": tb, "stimuli": stimuli,
+            "t_stop": 0.3e-9, "dt": 1e-12, "backend": "banded",
+            "gate": GATE_DEEP}
+
+
+def _run(wl):
+    return simulate_transient_batch(
+        wl["tb"].circuit, wl["stimuli"], t_stop=wl["t_stop"], dt=wl["dt"],
+        options=TransientOptions(backend=wl["backend"]))
+
+
+def _measure(wl) -> dict:
+    """Best-of-REPEATS per backend, interleaved, plus equivalence."""
+    mna = MnaSystem(wl["tb"].circuit)
+    backends = [("numpy", NUMPY_KERNEL)]
+    if HAVE_NUMBA:
+        numba_backend = resolve_kernel("numba")
+        # Warm the JIT cache outside the timed region: compilation is a
+        # one-off cost, not a per-run one.
+        prev = set_default_kernel(numba_backend)
+        try:
+            _run(wl)
+        finally:
+            set_default_kernel(prev)
+        backends.append(("numba", numba_backend))
+
+    best = {name: float("inf") for name, _ in backends}
+    results = {}
+    for _ in range(REPEATS):
+        for name, backend in backends:
+            prev = set_default_kernel(backend)
+            try:
+                t0 = time.perf_counter()
+                res = _run(wl)
+                best[name] = min(best[name], time.perf_counter() - t0)
+            finally:
+                set_default_kernel(prev)
+            results[name] = res
+
+    row = {
+        "workload": wl["name"],
+        "batch": len(wl["stimuli"]),
+        "n_steps": int(round(wl["t_stop"] / wl["dt"])),
+        "mna_size": mna.size,
+        "n_mosfets": mna.n_mosfets,
+        "solver_backend": results["numpy"][0].stats["backend"],
+        "gate_speedup": wl["gate"],
+        "numpy_seconds": round(best["numpy"], 4),
+    }
+    if HAVE_NUMBA:
+        worst_dv = 0.0
+        for ref, res in zip(results["numpy"], results["numba"]):
+            for node in ref.node_names:
+                worst_dv = max(worst_dv, float(np.max(np.abs(
+                    ref.voltage_samples(node)
+                    - res.voltage_samples(node)))))
+        row.update({
+            "numba_seconds": round(best["numba"], 4),
+            "speedup": round(best["numpy"] / best["numba"], 3),
+            "max_deviation_volts": worst_dv,
+            "kernel": results["numba"][0].stats["kernel"],
+        })
+    return row
+
+
+def test_kernel_backends_speed_up_the_hot_loops():
+    rows = [_measure(_table1_workload()), _measure(_deep192_workload())]
+
+    payload = {
+        "numba_available": HAVE_NUMBA,
+        "voltage_tol": VOLTAGE_TOL,
+        "note": ("the numpy backend runs the unchanged vectorised "
+                 "reference engine (no fused dispatch), so speedups "
+                 "read as numba vs today's engine"),
+        "workloads": rows,
+    }
+    if not HAVE_NUMBA:
+        payload["numba_unavailable"] = True
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if not HAVE_NUMBA:
+        pytest.skip("numba not installed: recorded numpy timings only, "
+                    f"see {BENCH_PATH}")
+
+    for row in rows:
+        assert row["max_deviation_volts"] < VOLTAGE_TOL, (
+            f"{row['workload']}: numba deviates by "
+            f"{row['max_deviation_volts']:.3e} V")
+        assert row["kernel"] == "numba"
+        if row["speedup"] < row["gate_speedup"]:
+            # One full remeasure absorbs a stall of the shared machine.
+            retry = _measure(_table1_workload()
+                             if row["workload"] == "table1"
+                             else _deep192_workload())
+            if retry.get("speedup", 0.0) > row["speedup"]:
+                rows[rows.index(row)] = row = retry
+                BENCH_PATH.write_text(
+                    json.dumps(dict(payload, workloads=rows), indent=2)
+                    + "\n")
+        assert row["speedup"] >= row["gate_speedup"], (
+            f"{row['workload']}: numba kernels only {row['speedup']:.2f}x "
+            f"faster ({row['numba_seconds']:.2f}s vs "
+            f"{row['numpy_seconds']:.2f}s); see {BENCH_PATH}")

@@ -1,0 +1,40 @@
+"""Flat-array kernels for the transient/Newton hot loops.
+
+The stepping engines of :mod:`repro.circuit.transient` spend their time
+in a small set of per-step operations — MOSFET device evaluation,
+companion-current accumulation, and the damped Newton inner iteration —
+and this package isolates those operations as *kernels over preallocated
+contiguous arrays* so the same orchestration code can drive more than
+one execution strategy:
+
+``numpy`` (the reference)
+    The vectorised NumPy path the engines have always used: broadcast
+    stamping, one-hot scatter matmuls, stacked LAPACK solves.  Always
+    available, bit-compatible with the pre-kernel engine.
+
+``numba`` (the CPU fast path)
+    Fused ``@njit`` loop kernels (:mod:`._loops`) that run a whole
+    Newton solve — device evaluation, Jacobian stamping, linear solve,
+    damping, convergence — in one compiled call per step, with no
+    per-iteration Python dispatch.  Optional: when numba is not
+    installed the registry silently resolves to ``numpy``.
+
+The split mirrors the device-array seam a GPU backend needs: kernels
+receive plain index/coefficient arrays (:class:`~.step_kernels
+.DeviceArrays`, banded LU factors, bordered Schur blocks), never
+``MnaSystem`` objects, so a CuPy port is an array-registration exercise,
+not an engine rewrite.
+
+Backend choice is process-global (``REPRO_KERNEL=auto|numpy|numba``,
+:func:`~.backend.set_default_kernel`) and deliberately *not* part of
+``TransientOptions``: backends are numerically equivalent (<1e-9 V), so
+the kernel must never enter result-store keys.
+"""
+
+from .backend import (HAVE_NUMBA, KernelBackend, available_kernels,
+                      resolve_kernel, set_default_kernel)
+from .step_kernels import DeviceArrays, mos_eval
+
+__all__ = ["DeviceArrays", "HAVE_NUMBA", "KernelBackend",
+           "available_kernels", "mos_eval", "resolve_kernel",
+           "set_default_kernel"]

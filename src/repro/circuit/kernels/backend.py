@@ -1,0 +1,178 @@
+"""Kernel-backend registry: NumPy reference vs numba-compiled loops.
+
+A :class:`KernelBackend` names an execution strategy for the hot-loop
+kernels.  The ``numpy`` backend carries no function table — the engines'
+vectorised reference path *is* the NumPy implementation — while the
+``numba`` backend carries the compiled namespace of :mod:`._loops` and
+the engines dispatch their fused Newton solves through it.
+
+Resolution order for the process-wide default:
+
+1. :func:`set_default_kernel` (tests, embedding programs,
+   ``ExecutionConfig``);
+2. the ``REPRO_KERNEL`` environment variable (``auto``/``numpy``/
+   ``numba``);
+3. ``auto`` — numba when importable, NumPy otherwise.
+
+Requesting ``numba`` on a host without numba degrades to NumPy (with a
+one-time warning) instead of failing: the backends are numerically
+equivalent, so availability is a performance concern, never a
+correctness one.  For the same reason the kernel choice must never
+enter result-store keys.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import warnings
+
+import numpy as np
+
+from ..._util import require
+from . import _loops
+from .step_kernels import DeviceArrays
+
+__all__ = ["HAVE_NUMBA", "KernelBackend", "available_kernels",
+           "resolve_kernel", "set_default_kernel"]
+
+def _probe_numba() -> bool:
+    """Whether numba is importable, probed without the multi-second
+    ``import numba``.  A raising finder (or a broken install) counts as
+    absent — availability is a performance question, so the probe must
+    never take the import down."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except Exception:
+        return False
+
+
+#: Whether the optional numba dependency is importable.
+HAVE_NUMBA = _probe_numba()
+
+KERNEL_NAMES = ("auto", "numpy", "numba")
+
+
+class KernelBackend:
+    """One named kernel execution strategy.
+
+    ``loops`` is ``None`` for the NumPy reference backend (engines keep
+    their vectorised path) or a namespace of compiled loop kernels from
+    :func:`._loops.make_kernels`; :attr:`fused` tells the engines
+    whether fused Newton dispatch is available.  The wrapper methods
+    normalise dtypes/contiguity at the seam so the kernels always see
+    contiguous float64/int64 arrays — the same contract a device-array
+    backend would enforce with host-to-device copies.
+    """
+
+    def __init__(self, name: str, loops=None):
+        self.name = name
+        self.loops = loops
+
+    @property
+    def fused(self) -> bool:
+        return self.loops is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelBackend({self.name!r}, fused={self.fused})"
+
+    def newton_dense(self, dev: DeviceArrays, a_base: np.ndarray,
+                     rhs_base: np.ndarray, x0: np.ndarray, n_nodes: int,
+                     abstol: float, max_iter: int, v_limit: float,
+                     require_unlimited: bool):
+        """Fused stacked dense Newton; ``(x, converged, iters)``."""
+        return self.loops.dense_newton(
+            np.ascontiguousarray(a_base), np.ascontiguousarray(rhs_base),
+            np.ascontiguousarray(x0), n_nodes,
+            dev.d, dev.g, dev.s, dev.pol, dev.beta, dev.vth, dev.lam,
+            abstol, max_iter, v_limit, require_unlimited)
+
+    def newton_bordered(self, dev: DeviceArrays, state, w1: np.ndarray,
+                        t0: np.ndarray, x0: np.ndarray, n_nodes: int,
+                        abstol: float, max_iter: int, v_limit: float,
+                        require_unlimited: bool):
+        """Fused bordered Newton; ``state`` is a
+        :meth:`~repro.circuit.mna.BorderedNewtonStep.flat_state` tuple
+        ``(core, border, y, s0, lookup)``."""
+        core, border, y, s0, lookup = state
+        return self.loops.bordered_newton(
+            np.ascontiguousarray(w1), np.ascontiguousarray(t0),
+            np.ascontiguousarray(x0), core, border, y, s0, lookup,
+            dev.d, dev.g, dev.s, dev.pol, dev.beta, dev.vth, dev.lam,
+            n_nodes, abstol, max_iter, v_limit, require_unlimited)
+
+
+#: The always-available reference backend.
+NUMPY_KERNEL = KernelBackend("numpy")
+
+_numba_kernel: KernelBackend | None = None
+_warned_missing = False
+
+
+def _build_numba() -> KernelBackend | None:
+    """Compile the loop kernels with numba; ``None`` when unavailable."""
+    global _numba_kernel
+    if _numba_kernel is not None:
+        return _numba_kernel
+    if not HAVE_NUMBA:
+        return None
+    try:
+        import numba
+    except Exception:  # pragma: no cover - broken install
+        return None
+    njit = numba.njit(cache=True)
+    _numba_kernel = KernelBackend("numba", _loops.make_kernels(njit))
+    return _numba_kernel
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Concrete backend names usable in this process."""
+    return ("numpy", "numba") if HAVE_NUMBA else ("numpy",)
+
+
+_DEFAULT: "KernelBackend | str | None" = None
+
+
+def set_default_kernel(kernel: "KernelBackend | str | None"):
+    """Install the process-wide default backend; returns the previous.
+
+    Accepts a name (``auto``/``numpy``/``numba``), a ready
+    :class:`KernelBackend` (tests install un-jitted loop backends this
+    way), or ``None`` to fall back to the ``REPRO_KERNEL`` environment
+    variable.
+    """
+    global _DEFAULT
+    if isinstance(kernel, str):
+        require(kernel in KERNEL_NAMES,
+                f"unknown kernel backend {kernel!r}; pick from {KERNEL_NAMES}")
+    previous = _DEFAULT
+    _DEFAULT = kernel
+    return previous
+
+
+def resolve_kernel(name: "KernelBackend | str | None" = None) -> KernelBackend:
+    """The concrete backend a kernel request resolves to.
+
+    ``None`` consults the installed default, then ``REPRO_KERNEL``,
+    then ``auto``.  ``auto`` prefers numba; an explicit ``numba``
+    request without numba installed degrades gracefully to NumPy.
+    """
+    global _warned_missing
+    if name is None:
+        name = _DEFAULT if _DEFAULT is not None \
+            else os.environ.get("REPRO_KERNEL", "auto")
+    if isinstance(name, KernelBackend):
+        return name
+    require(name in KERNEL_NAMES,
+            f"unknown kernel backend {name!r}; pick from {KERNEL_NAMES}")
+    if name == "numpy":
+        return NUMPY_KERNEL
+    backend = _build_numba()
+    if backend is not None:
+        return backend
+    if name == "numba" and not _warned_missing:
+        warnings.warn("REPRO_KERNEL=numba requested but numba is not "
+                      "installed; falling back to the NumPy kernels",
+                      RuntimeWarning, stacklevel=2)
+        _warned_missing = True
+    return NUMPY_KERNEL

@@ -1,0 +1,165 @@
+"""NumPy reference kernels: flat-array primitives of the stepping engines.
+
+Everything here operates on plain ndarrays — device parameter vectors,
+terminal index arrays, right-hand sides — with no circuit objects in
+sight.  :mod:`repro.circuit.mna` and :mod:`repro.circuit.transient`
+gather their per-topology arrays once (``MnaSystem.device_arrays``,
+``_StepMatrixCache``) and call these per step; :mod:`._loops` provides
+the loop-form twins a numba/GPU backend compiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceArrays", "SMOOTH_EPS", "mos_eval", "square_law",
+           "companion_rhs"]
+
+#: Overdrive smoothing width in volts; small enough not to disturb the
+#: strong-inversion region, large enough for smooth Newton convergence.
+SMOOTH_EPS = 0.02
+
+
+@dataclass(frozen=True, eq=False)
+class DeviceArrays:
+    """The MOSFET population of one topology as flat arrays.
+
+    Kernels depend on this — not on ``MnaSystem`` — so a backend that
+    wants the data on a device (numba typed args today, CuPy tomorrow)
+    gets everything it needs from seven contiguous vectors.  Terminal
+    indices use ``-1`` for ground (kernels read 0 V and skip the stamp).
+    """
+
+    d: np.ndarray      #: drain MNA index per device (int64, -1 = ground)
+    g: np.ndarray      #: gate MNA index per device
+    s: np.ndarray      #: source MNA index per device
+    pol: np.ndarray    #: +1.0 NMOS / -1.0 PMOS (float64)
+    beta: np.ndarray   #: transconductance factor kp·W/L (A/V²)
+    vth: np.ndarray    #: threshold magnitude (V)
+    lam: np.ndarray    #: channel-length modulation (1/V)
+
+    @property
+    def n_dev(self) -> int:
+        return int(self.d.size)
+
+
+def square_law(vgs: np.ndarray, vds: np.ndarray, beta: np.ndarray,
+               vth: np.ndarray, lam: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Square-law drain current for ``vds >= 0`` with smooth overdrive.
+
+    Returns
+    -------
+    (ids, d_ids/d_vgs, d_ids/d_vds) arrays.
+    """
+    vgst = vgs - vth
+    root = np.sqrt(vgst * vgst + 4.0 * SMOOTH_EPS * SMOOTH_EPS)
+    vov = 0.5 * (vgst + root)          # smooth max(vgst, 0)
+    dvov = 0.5 * (1.0 + vgst / root)   # its derivative w.r.t. vgs
+
+    triode = vds < vov
+    # Triode region current and partials w.r.t. (vov, vds).
+    id_tri = beta * (vov * vds - 0.5 * vds * vds)
+    did_tri_dvov = beta * vds
+    did_tri_dvds = beta * (vov - vds)
+    # Saturation region.
+    id_sat = 0.5 * beta * vov * vov
+    did_sat_dvov = beta * vov
+    did_sat_dvds = np.zeros_like(vds)
+
+    id0 = np.where(triode, id_tri, id_sat)
+    did_dvov = np.where(triode, did_tri_dvov, did_sat_dvov)
+    did_dvds0 = np.where(triode, did_tri_dvds, did_sat_dvds)
+
+    clm = 1.0 + lam * vds
+    ids = id0 * clm
+    gm = did_dvov * dvov * clm
+    gds = did_dvds0 * clm + id0 * lam
+    return ids, gm, gds
+
+
+def mos_eval(
+    vd: np.ndarray,
+    vg: np.ndarray,
+    vs: np.ndarray,
+    polarity: np.ndarray,
+    beta: np.ndarray,
+    vth: np.ndarray,
+    lam: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The one flat device-evaluation primitive: currents and partials.
+
+    Broadcasts over any leading shape — a ``(n_dev,)`` scalar operating
+    point and a stacked ``(B, n_dev)`` batch take the identical code
+    path (the scalar *is* a batch of one), which is what pins the
+    scalar and batched engines to bit-equal device physics.  Handles
+    both polarities (PMOS via voltage mirroring) and both drain bias
+    signs (``vds < 0`` via source/drain swap — the square-law device is
+    symmetric).
+
+    Parameters
+    ----------
+    vd, vg, vs:
+        Terminal voltages per device.
+    polarity:
+        ``+1`` / ``-1`` per device.
+    beta, vth, lam:
+        Model parameters per device (``vth`` is the magnitude).
+
+    Returns
+    -------
+    (ids, d_ids/d_vd, d_ids/d_vg, d_ids/d_vs)
+        ``ids`` is the current flowing *into* the drain terminal and out
+        of the source terminal.  Derivatives are with respect to the
+        original (un-mirrored) node voltages, ready for Jacobian
+        stamping.
+    """
+    pol = polarity.astype(np.float64)
+    # Mirror PMOS into the NMOS frame: all voltages negated.
+    vdp = pol * vd
+    vgp = pol * vg
+    vsp = pol * vs
+
+    vds = vdp - vsp
+    swap = vds < 0.0
+    # In the swapped frame the physical source is the drain terminal.
+    vgs_n = np.where(swap, vgp - vdp, vgp - vsp)
+    vds_n = np.abs(vds)
+
+    ids_n, gm_n, gds_n = square_law(vgs_n, vds_n, beta, vth, lam)
+
+    # Partials w.r.t. the primed (mirrored) terminal voltages.
+    # Normal frame:  d/dvg = gm, d/dvd = gds, d/dvs = -(gm + gds).
+    # Swapped frame: current reverses and roles of d/s exchange.
+    did_dvd = np.where(swap, gm_n + gds_n, gds_n)
+    did_dvg = np.where(swap, -gm_n, gm_n)
+    did_dvs = np.where(swap, -gds_n, -(gm_n + gds_n))
+    ids = np.where(swap, -ids_n, ids_n)
+
+    # Un-mirror: ids_actual = pol * ids(primed); d/dv = pol * d/dv' * pol = d/dv'.
+    return pol * ids, did_dvd, did_dvg, did_dvs
+
+
+def companion_rhs(rhs: np.ndarray, cap_i: np.ndarray, cap_j: np.ndarray,
+                  ieq: np.ndarray) -> np.ndarray:
+    """Scatter capacitor companion currents onto a scalar rhs, in place.
+
+    ``rhs[i] += ieq``, ``rhs[j] -= ieq`` per capacitor, skipping ground
+    terminals.  The updates interleave exactly like the per-capacitor
+    Python loop this replaces (``+i₀, −j₀, +i₁, −j₁, …``) and
+    ``np.add.at`` applies them unbuffered in that order, so shared
+    terminals accumulate in the same sequence — the result is
+    bit-identical to the loop.
+    """
+    n = cap_i.size
+    idx = np.empty(2 * n, dtype=np.int64)
+    idx[0::2] = cap_i
+    idx[1::2] = cap_j
+    vals = np.empty(2 * n)
+    vals[0::2] = ieq
+    vals[1::2] = -ieq
+    ok = idx >= 0
+    np.add.at(rhs, idx[ok], vals[ok])
+    return rhs

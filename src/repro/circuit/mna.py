@@ -20,8 +20,10 @@ import numpy as np
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from .._util import require
+from .kernels.step_kernels import DeviceArrays
 from .mosfet import mosfet_eval
 from .netlist import GROUND, Circuit
 from .solvers import (HAVE_SCIPY, BorderedBanded, MatrixStructure,
@@ -587,6 +589,27 @@ class MnaSystem:
                 "no viable core/border partition for this topology")
         return BorderedNewtonStep(self, partition, a_base)
 
+    def device_arrays(self) -> DeviceArrays:
+        """The MOSFET population as flat kernel-ready arrays (cached).
+
+        The seam the kernel backends consume: contiguous int64 terminal
+        indices (``-1`` = ground) and float64 parameter vectors, with no
+        reference back to this system — see
+        :class:`repro.circuit.kernels.step_kernels.DeviceArrays`.
+        """
+        dev = getattr(self, "_device_arrays", None)
+        if dev is None:
+            dev = DeviceArrays(
+                d=np.ascontiguousarray(self.mos_d, dtype=np.int64),
+                g=np.ascontiguousarray(self.mos_g, dtype=np.int64),
+                s=np.ascontiguousarray(self.mos_s, dtype=np.int64),
+                pol=np.ascontiguousarray(self.mos_pol, dtype=np.float64),
+                beta=np.ascontiguousarray(self.mos_beta, dtype=np.float64),
+                vth=np.ascontiguousarray(self.mos_vth, dtype=np.float64),
+                lam=np.ascontiguousarray(self.mos_lam, dtype=np.float64))
+            self._device_arrays = dev
+        return dev
+
     def _mos_lin(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Newton linearisation of every MOSFET at operating point ``x``.
 
@@ -595,18 +618,13 @@ class MnaSystem:
         ``(6, n_mosfets)`` in the scalar scatter layout — and the
         equivalent Newton currents ``ieq = J·x0 − ids0`` (stamped
         positive at the drain, negative at the source).
+
+        The scalar linearisation *is* the batched one applied to a batch
+        of one — the elementwise device math is identical, so the
+        results are bit-equal to the historical dedicated scalar path.
         """
-        vd = self._terminal_voltages(x, self.mos_d)
-        vg = self._terminal_voltages(x, self.mos_g)
-        vs = self._terminal_voltages(x, self.mos_s)
-        ids, did_dvd, did_dvg, did_dvs = mosfet_eval(
-            vd, vg, vs, self.mos_pol, self.mos_beta, self.mos_vth, self.mos_lam
-        )
-        ieq = did_dvd * vd + did_dvg * vg + did_dvs * vs - ids
-        vals = self._mos_sign * np.stack(
-            [did_dvd, did_dvg, did_dvs, did_dvd, did_dvg, did_dvs]
-        )
-        return vals, ieq
+        vals, ieq = self._mos_lin_batch(x[None, :])
+        return vals[0], ieq[0]
 
     def _stamp_mos_rhs(self, rhs: np.ndarray, ieq: np.ndarray) -> None:
         """Scatter the Newton companion currents onto a scalar rhs."""
@@ -784,6 +802,44 @@ class BorderedNewtonStep:
         self._flat = lookup[mna._mos_flat // n] * nb + lookup[mna._mos_flat % n]
         self._flat_uniq = (lookup[mna._mos_flat_uniq // n] * nb
                            + lookup[mna._mos_flat_uniq % n])
+        self._lookup = lookup
+        self._fused_state: "tuple | None | bool" = False  # False = unbuilt
+
+    def flat_state(self) -> "tuple | None":
+        """Kernel-ready flat arrays ``(core, border, y, s0, lookup)``.
+
+        The device-array seam of the fused bordered Newton kernel; every
+        piece is a plain contiguous ndarray (built once, cached).
+        ``None`` when a device terminal unexpectedly falls outside the
+        border — callers then keep the reference path.
+        """
+        if self._fused_state is False:
+            mna = self._mna
+            terms = np.concatenate([mna.mos_d, mna.mos_g, mna.mos_s])
+            terms = terms[terms >= 0]
+            if terms.size and (self._lookup[terms] < 0).any():
+                self._fused_state = None
+            else:
+                core, border, f, y, s0 = self._bb.schur_state()
+                self._fused_state = (
+                    np.ascontiguousarray(core, dtype=np.int64),
+                    np.ascontiguousarray(border, dtype=np.int64),
+                    np.ascontiguousarray(y),
+                    np.ascontiguousarray(s0),
+                    self._lookup)
+        return self._fused_state
+
+    def prepare_fused(self, rhs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Iteration-constant pieces of a fused solve for stacked ``rhs``.
+
+        Device stamps only touch border rows, so the core sweep ``w1 =
+        B⁻¹·r₁`` (one batched banded substitution) and the reduced rhs
+        ``t₀ = r₂ − F·w1`` hold for every Newton iteration of the step.
+        ``rhs`` is read, never mutated.
+        """
+        core, border, f, _, _ = self._bb.schur_state()
+        w1 = self._bb.core_sweep(rhs[:, core])
+        return w1, rhs[:, border] - w1 @ f.T
 
     def solve(self, rhs_base: np.ndarray, x: np.ndarray) -> np.ndarray:
         """One Newton linear solve at ``x`` (``rhs_base`` copied)."""
@@ -811,6 +867,59 @@ class BorderedNewtonStep:
         return self._bb.solve(rhs, delta.reshape(batch, self._nb, self._nb))
 
 
+def _fused_stacked(
+    mna: MnaSystem,
+    a_base: np.ndarray,
+    rhs_base: np.ndarray,
+    x0: np.ndarray,
+    abstol: float,
+    max_iter: int,
+    v_limit: float,
+    require_unlimited: bool,
+    stats: dict | None,
+    kernel,
+    backend,
+) -> "tuple[np.ndarray, np.ndarray] | None":
+    """Dispatch one stacked Newton solve to a fused kernel backend.
+
+    Covers the dense path (no structured kernel) and the bordered
+    structured path; returns ``None`` whenever the backend cannot take
+    this solve — sparse structured kernels, a partition the fused state
+    rejects, or a singular Schur complement mid-solve (counted as a
+    ``newton_fallbacks``) — and the caller runs the reference loop.
+    """
+    timers = stats.get("phase_seconds") if stats is not None else None
+    t_solve = perf_counter() if timers is not None else 0.0
+    if kernel is None:
+        x, converged, iters = backend.newton_dense(
+            mna.device_arrays(), a_base, rhs_base, x0, mna.n_nodes,
+            abstol, max_iter, v_limit, require_unlimited)
+    elif getattr(kernel, "kind", None) == "banded":
+        state = kernel.flat_state()
+        if state is None:
+            return None
+        try:
+            w1, t0 = kernel.prepare_fused(rhs_base)
+            x, converged, iters = backend.newton_bordered(
+                mna.device_arrays(), state, w1, t0, x0, mna.n_nodes,
+                abstol, max_iter, v_limit, require_unlimited)
+        except np.linalg.LinAlgError:
+            if stats is not None:
+                stats["newton_fallbacks"] = \
+                    stats.get("newton_fallbacks", 0) + 1
+            return None
+    else:
+        return None
+    if timers is not None:
+        # Fused kernels interleave device evaluation and solving, so the
+        # whole call lands in "solve".
+        timers["solve"] = timers.get("solve", 0.0) \
+            + (perf_counter() - t_solve)
+    if stats is not None:
+        stats["newton_iters"] += int(iters)
+    return x, converged
+
+
 def stacked_newton(
     mna: MnaSystem,
     a_base: np.ndarray,
@@ -823,6 +932,7 @@ def stacked_newton(
     catch_singular: bool = False,
     stats: dict | None = None,
     kernel: "SparseNewtonStep | BorderedNewtonStep | None" = None,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Damped Newton over ``B`` stacked operating points; ``(x, converged)``.
 
@@ -860,16 +970,31 @@ def stacked_newton(
         objects above) replacing the dense stamp-and-solve.  A singular
         structured refactorization drops back to the dense path for the
         remainder of the solve.
+    backend:
+        Optional :class:`~repro.circuit.kernels.backend.KernelBackend`.
+        A fused backend (numba) runs the whole solve in one compiled
+        call — dense, or bordered with the banded core sweep hoisted out
+        of the iteration; the NumPy backend (or ``None``) keeps the
+        vectorised reference loop below.  ``catch_singular`` solves
+        always take the reference loop (its mid-state contract).
     """
+    if backend is not None and backend.fused and not catch_singular:
+        fused = _fused_stacked(mna, a_base, rhs_base, x0, abstol, max_iter,
+                               v_limit, require_unlimited, stats, kernel,
+                               backend)
+        if fused is not None:
+            return fused
     x = x0.copy()
     m = x.shape[0]
     n_nodes = mna.n_nodes
     converged = np.zeros(m, dtype=bool)
     active = np.arange(m)
+    timers = stats.get("phase_seconds") if stats is not None else None
     for _ in range(max_iter):
         sub = x[active]
         x_new = None
         if kernel is not None:
+            t0 = perf_counter() if timers is not None else 0.0
             try:
                 x_new = kernel.solve_batch(rhs_base[active].copy(), sub)
             except np.linalg.LinAlgError:
@@ -877,16 +1002,29 @@ def stacked_newton(
                     stats["newton_fallbacks"] = \
                         stats.get("newton_fallbacks", 0) + 1
                 kernel = None
+            if timers is not None:
+                timers["solve"] = timers.get("solve", 0.0) \
+                    + (perf_counter() - t0)
         if x_new is None:
+            t0 = perf_counter() if timers is not None else 0.0
             a = np.broadcast_to(a_base, (active.size, *a_base.shape)).copy()
             rhs = rhs_base[active].copy()
             mna.stamp_mosfets_batch(a, rhs, sub)
+            if timers is not None:
+                t1 = perf_counter()
+                timers["device_eval"] = timers.get("device_eval", 0.0) \
+                    + (t1 - t0)
+                t0 = t1
             try:
                 x_new = np.linalg.solve(a, rhs[..., None])[..., 0]
             except np.linalg.LinAlgError:
                 if catch_singular:
                     return x, converged
                 raise
+            finally:
+                if timers is not None:
+                    timers["solve"] = timers.get("solve", 0.0) \
+                        + (perf_counter() - t0)
         dx = x_new - sub
         dv = dx[:, :n_nodes]
         worst = np.max(np.abs(dv), axis=1) if n_nodes else np.zeros(active.size)

@@ -153,9 +153,13 @@ from dataclasses import replace as _dc_replace
 
 import numpy as np
 
+from time import perf_counter
+
 from .._util import require
 from ..core.waveform import Waveform
 from .dc import dc_operating_point, dc_operating_point_batch
+from .kernels.backend import resolve_kernel
+from .kernels.step_kernels import companion_rhs
 from .mna import MnaSystem, stacked_newton
 from .netlist import Circuit
 from .solvers import BACKENDS, factorize, select_backend, sparse_csr
@@ -416,6 +420,38 @@ _SPARSE_CAP_CELLS = 32768
 _STEP_CACHE_ENTRIES = 16
 
 
+def _phase_timers() -> "dict | None":
+    """A fresh phase-timer dict, or ``None`` when timing is disabled.
+
+    ``REPRO_PHASE_TIMERS=1`` turns it on; the engines then publish
+    ``stats["phase_seconds"]`` with ``factor`` (matrix builds and
+    factorizations), ``stamp`` (companion/rhs assembly), ``device_eval``
+    (MOSFET linearisation and stamping), ``solve`` (linear solves, and
+    whole fused kernel calls), ``overhead`` (everything else) and
+    ``total``.  Disabled runs pay exactly one environment lookup per
+    engine invocation — every timing site is guarded by a ``None``
+    check.
+    """
+    flag = os.environ.get("REPRO_PHASE_TIMERS", "").strip().lower()
+    return {} if flag in ("1", "true", "yes", "on") else None
+
+
+def _phase_add(timers: "dict | None", key: str, dt: float) -> None:
+    if timers is not None:
+        timers[key] = timers.get(key, 0.0) + dt
+
+
+def _phase_close(timers: "dict | None", stats: dict, t_start: float) -> None:
+    """Finalise a timer dict into ``stats["phase_seconds"]``."""
+    if timers is None:
+        return
+    total = perf_counter() - t_start
+    known = sum(timers.values())
+    timers["overhead"] = max(0.0, total - known)
+    timers["total"] = total
+    stats["phase_seconds"] = timers
+
+
 class _StepMatrixCache:
     """Companion-stamped matrices keyed on the quantised step value.
 
@@ -431,9 +467,15 @@ class _StepMatrixCache:
     reused by every step (and every batch variant) at that step size.
     """
 
-    def __init__(self, mna: MnaSystem, dt: float, backend: str = "auto"):
+    def __init__(self, mna: MnaSystem, dt: float, backend: str = "auto",
+                 kernel=None, timers: "dict | None" = None):
         self.mna = mna
         self._dt = dt
+        # The array-kernel backend every Newton solve of this run
+        # dispatches through (resolved once — REPRO_KERNEL / installed
+        # default); orthogonal to the linear-solver ``backend`` ladder.
+        self.kernel = kernel if kernel is not None else resolve_kernel()
+        self.timers = timers
         self._factorize = mna.n_mosfets == 0
         # The pattern/RCM analysis is only consulted where selection (or
         # the banded factorization) needs it — forced dense/sparse runs
@@ -493,9 +535,12 @@ class _StepMatrixCache:
         """Return ``(a_base, solver_or_None, h)`` for a step value."""
         entry = self._entries.get(h)
         if entry is None:
+            t0 = perf_counter() if self.timers is not None else 0.0
             a = _cap_stamp_matrix(self.mna, self.mna.g_lin.copy(), h)
             solver = factorize(a, self.backend, self._structure) \
                 if self._factorize else None
+            if self.timers is not None:
+                _phase_add(self.timers, "factor", perf_counter() - t0)
             entry = (a, solver, h)
             self._entries[h] = entry
             self.builds += 1
@@ -520,14 +565,17 @@ class _StepMatrixCache:
             return None
         kernel = self._kernels.get(h)
         if kernel is None:
+            a_base = self.get_h(h)[0] if self.backend == "banded" else None
+            t0 = perf_counter() if self.timers is not None else 0.0
             if self.backend == "banded":
-                a_base, _, h = self.get_h(h)
                 try:
                     kernel = mna.bordered_newton_step(a_base)
                 except np.linalg.LinAlgError:
                     kernel = mna.sparse_newton_step(h)
             else:
                 kernel = mna.sparse_newton_step(h)
+            if self.timers is not None:
+                _phase_add(self.timers, "factor", perf_counter() - t0)
             self._kernels[h] = kernel
             while len(self._kernels) > _STEP_CACHE_ENTRIES:
                 self._kernels.popitem(last=False)
@@ -576,17 +624,29 @@ def _newton_solve(
     opts: TransientOptions,
     stats: dict,
     kernel=None,
+    backend=None,
 ) -> np.ndarray | None:
     """Newton iteration for ``a_base``-plus-MOSFETs; ``None`` on failure.
 
     ``kernel`` optionally supplies a pattern-frozen structured linear
     operator (sparse refactorization or bordered-banded Schur solve); a
     singular structured refactorization falls back to the dense path for
-    the remainder of the solve.
+    the remainder of the solve.  A fused kernel ``backend`` takes the
+    whole solve as a stacked batch of one (the damped iteration
+    sequences are identical); the NumPy reference loop below remains the
+    scalar path otherwise.
     """
+    if backend is not None and backend.fused:
+        x, ok = stacked_newton(mna, a_base, rhs_base[None, :], x0[None, :],
+                               abstol=opts.abstol, max_iter=opts.max_newton,
+                               v_limit=opts.v_limit, require_unlimited=True,
+                               stats=stats, kernel=kernel, backend=backend)
+        return x[0] if ok[0] else None
+    timers = stats.get("phase_seconds")
     x = x0.copy()
     for _ in range(opts.max_newton):
         x_new = None
+        t0 = perf_counter() if timers is not None else 0.0
         if kernel is not None:
             try:
                 x_new = kernel.solve(rhs_base, x)
@@ -598,7 +658,12 @@ def _newton_solve(
             a = a_base.copy()
             rhs = rhs_base.copy()
             mna.stamp_mosfets(a, rhs, x)
+            if timers is not None:
+                _phase_add(timers, "device_eval", perf_counter() - t0)
+                t0 = perf_counter()
             x_new = np.linalg.solve(a, rhs)
+        if timers is not None:
+            _phase_add(timers, "solve", perf_counter() - t0)
         dx = x_new - x
         dv = dx[: mna.n_nodes]
         worst = float(np.max(np.abs(dv))) if dv.size else 0.0
@@ -620,6 +685,7 @@ def _newton_solve_batch(
     opts: TransientOptions,
     stats: dict,
     kernel=None,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batched Newton over stacked variants; returns ``(x, converged)``.
 
@@ -629,7 +695,8 @@ def _newton_solve_batch(
     """
     return stacked_newton(mna, a_base, rhs_base, x0, abstol=opts.abstol,
                           max_iter=opts.max_newton, v_limit=opts.v_limit,
-                          require_unlimited=True, stats=stats, kernel=kernel)
+                          require_unlimited=True, stats=stats, kernel=kernel,
+                          backend=backend)
 
 
 def _advance_scalar(
@@ -652,21 +719,24 @@ def _advance_scalar(
     if halvings_left is None:
         halvings_left = opts.max_halvings
     a_base, solver, h = cache.get_h(h)
+    timers = cache.timers
+    t0 = perf_counter() if timers is not None else 0.0
     geq = 2.0 * mna.cap_c / h
     vcap_prev = _cap_voltages(mna, x_prev)
     ieq = geq * vcap_prev + i_cap_prev
     rhs = mna.source_rhs(t_prev + h)
-    for k in range(mna.n_caps):
-        i, j = int(mna.cap_i[k]), int(mna.cap_j[k])
-        if i >= 0:
-            rhs[i] += ieq[k]
-        if j >= 0:
-            rhs[j] -= ieq[k]
+    companion_rhs(rhs, mna.cap_i, mna.cap_j, ieq)
+    if timers is not None:
+        _phase_add(timers, "stamp", perf_counter() - t0)
     if solver is not None:
+        t0 = perf_counter() if timers is not None else 0.0
         x_new = solver.solve(rhs)
+        if timers is not None:
+            _phase_add(timers, "solve", perf_counter() - t0)
     else:
         x_new = _newton_solve(mna, a_base, rhs, x_prev, opts, stats,
-                              kernel=cache.newton_kernel(h))
+                              kernel=cache.newton_kernel(h),
+                              backend=cache.kernel)
     if x_new is None:
         if halvings_left <= 0 or (opts.min_step > 0.0
                                   and h / 2 < opts.min_step):
@@ -700,7 +770,8 @@ def _initial_state(
 
 def _new_stats(**extra) -> dict:
     stats = {"newton_iters": 0, "halvings": 0, "matrix_builds": 0,
-             "batch_size": 1, "backend": "dense", "newton_fallbacks": 0}
+             "batch_size": 1, "backend": "dense", "newton_fallbacks": 0,
+             "kernel": "numpy"}
     stats.update(extra)
     return stats
 
@@ -732,8 +803,12 @@ def _simulate_scalar(
     # Trapezoidal history: capacitor currents at the previous accepted point.
     # Starting from DC (or UIC) the capacitor currents are zero.
     i_cap = np.zeros(mna.n_caps)
-    cache = _StepMatrixCache(mna, dt, backend=opts.backend)
-    stats = _new_stats(backend=cache.backend)
+    timers = _phase_timers()
+    t_engine = perf_counter() if timers is not None else 0.0
+    cache = _StepMatrixCache(mna, dt, backend=opts.backend, timers=timers)
+    stats = _new_stats(backend=cache.backend, kernel=cache.kernel.name)
+    if timers is not None:
+        stats["phase_seconds"] = timers
 
     for step in range(n_steps):
         x, i_cap = _advance_scalar(mna, cache, x, i_cap, float(times[step]),
@@ -741,6 +816,7 @@ def _simulate_scalar(
         solutions[step + 1] = x
 
     stats["matrix_builds"] = cache.builds
+    _phase_close(timers, stats, t_engine)
     return TransientResult(mna, times, solutions, stats=stats)
 
 
@@ -824,12 +900,17 @@ def _advance_batch(
     mna0 = cache.mna
     a_base, _, h = cache.get_h(cache.base_dt)
     geq = 2.0 * mna0.cap_c / h
+    timers = cache.timers
+    t0 = perf_counter() if timers is not None else 0.0
     if mna0.n_caps:
         rhs += cache.cap_scatter(ieq_prev)
+    if timers is not None:
+        _phase_add(timers, "stamp", perf_counter() - t0)
 
     fallback: list[tuple[int, np.ndarray]] = []
     x_new, ok = _newton_solve_batch(mna0, a_base, rhs, x_prev, opts, stats,
-                                    kernel=cache.newton_kernel(h))
+                                    kernel=cache.newton_kernel(h),
+                                    backend=cache.kernel)
 
     if not ok.all():
         if opts.max_halvings < 1:
@@ -848,7 +929,10 @@ def _advance_batch(
                                            stats, opts.max_halvings - 1)
             x_new[pos] = x_fin
             fallback.append((int(pos), i_fin))
+    t0 = perf_counter() if timers is not None else 0.0
     ieq_new = 2.0 * geq * cache.cap_gather(x_new) - ieq_prev
+    if timers is not None:
+        _phase_add(timers, "stamp", perf_counter() - t0)
     # Fallback variants integrated at half steps: their trapezoidal
     # history comes from the scalar recursion, not the full-step identity.
     for pos, i_fin in fallback:
@@ -919,8 +1003,13 @@ def _simulate_group(jobs: Sequence[TransientJob],
     batch = len(jobs)
     solutions = np.empty((batch, n_max + 1, mna0.size))
     solutions[:, 0] = x
-    cache = _StepMatrixCache(mna0, dt, backend=opts.backend)
-    stats = _new_stats(batch_size=batch, backend=cache.backend)
+    timers = _phase_timers()
+    t_engine = perf_counter() if timers is not None else 0.0
+    cache = _StepMatrixCache(mna0, dt, backend=opts.backend, timers=timers)
+    stats = _new_stats(batch_size=batch, backend=cache.backend,
+                       kernel=cache.kernel.name)
+    if timers is not None:
+        stats["phase_seconds"] = timers
 
     # Halved substeps (rare) evaluate their intermediate source times on
     # demand; full steps read the precomputed compact series.
@@ -946,7 +1035,10 @@ def _simulate_group(jobs: Sequence[TransientJob],
     def advance(sub_mnas, x_sub, state_sub, t, rhs):
         if linear:
             rhs += state_sub
+            t0 = perf_counter() if timers is not None else 0.0
             x_new = solver0.solve(rhs)
+            if timers is not None:
+                _phase_add(timers, "solve", perf_counter() - t0)
             return x_new, 2.0 * cache.cap_s_matvec(x_new) - state_sub
         return _advance_batch(sub_mnas, cache, x_sub, state_sub, t, rhs,
                               opts, stats)
@@ -972,6 +1064,7 @@ def _simulate_group(jobs: Sequence[TransientJob],
             solutions[alive, step + 1] = x_new
 
     stats["matrix_builds"] = cache.builds
+    _phase_close(timers, stats, t_engine)
     return [
         TransientResult(mnas[b], times[: n_steps[b] + 1],
                         solutions[b, : n_steps[b] + 1], stats=stats)
@@ -1063,9 +1156,14 @@ def _simulate_adaptive(jobs: Sequence[TransientJob],
     n_steps = steps_arr.tolist()
     n_max = int(steps_arr.max())
 
-    cache = _StepMatrixCache(mna0, dt, backend=opts.backend)
+    timers = _phase_timers()
+    t_engine = perf_counter() if timers is not None else 0.0
+    cache = _StepMatrixCache(mna0, dt, backend=opts.backend, timers=timers)
     stats = _new_stats(batch_size=batch, backend=cache.backend,
+                       kernel=cache.kernel.name,
                        adaptive=True, lte_rejects=0, newton_rejects=0)
+    if timers is not None:
+        stats["phase_seconds"] = timers
 
     if opts.max_step > 0.0:
         rung_cap = 0 if opts.max_step < 2.0 * dt else \
@@ -1124,14 +1222,16 @@ def _simulate_adaptive(jobs: Sequence[TransientJob],
                 # Scalar Newton for singleton groups: same iterates as
                 # the stacked loop without its broadcasting overhead.
                 x_one = _newton_solve(mna0, a_base, rhs[0], x_al[0], opts,
-                                      stats, kernel=cache.newton_kernel(h))
+                                      stats, kernel=cache.newton_kernel(h),
+                                      backend=cache.kernel)
                 ok_all = x_one is not None
                 ok = np.array([ok_all])
                 x_cand = x_one[None, :] if ok_all else x_al.copy()
             else:
                 x_cand, ok = _newton_solve_batch(mna0, a_base, rhs, x_al,
                                                  opts, stats,
-                                                 kernel=cache.newton_kernel(h))
+                                                 kernel=cache.newton_kernel(h),
+                                                 backend=cache.kernel)
                 ok_all = bool(ok.all())
             if not ok_all and m > 1:
                 # Newton trouble on a grown stride: shrink it rather than
@@ -1234,6 +1334,7 @@ def _simulate_adaptive(jobs: Sequence[TransientJob],
 
     stats["matrix_builds"] = cache.builds
     stats["steps_accepted"] = len(accepted) - 1
+    _phase_close(timers, stats, t_engine)
     acc = np.asarray(accepted)
     t_acc = times[acc]
     sol_arr = np.stack(sols)  # (n_accepted + 1, batch, size)

@@ -7,7 +7,8 @@ batched engine (PR 1) and the structured solver backends (PR 2):
   :func:`~repro.circuit.transient.simulate_transient_many` that shards
   independent jobs over a process pool and merges results in submission
   order (deterministic serial fallback when ``workers=1`` or the pool is
-  unavailable);
+  unavailable); :func:`fleet_stats` totals the per-shard solver stats
+  across every call and worker;
 * :mod:`repro.exec.store` — :class:`ResultStore`, a content-keyed
   on-disk memo of transient results (topology signature + source
   fingerprints + grid + options, versioned) that makes repeat experiment
@@ -19,7 +20,8 @@ batched engine (PR 1) and the structured solver backends (PR 2):
 
 from .config import (ExecutionConfig, default_execution,
                      set_default_execution, store_max_bytes)
-from .pool import job_cost, make_shards, run_jobs
+from .pool import (fleet_stats, job_cost, make_shards, reset_fleet_stats,
+                   run_jobs)
 from .store import (STORE_VERSION, DcStoreMemo, ResultStore,
                     UnkeyableJobError, dc_key, job_key)
 
@@ -31,6 +33,8 @@ __all__ = [
     "run_jobs",
     "make_shards",
     "job_cost",
+    "fleet_stats",
+    "reset_fleet_stats",
     "ResultStore",
     "DcStoreMemo",
     "job_key",

@@ -14,6 +14,9 @@ Environment knobs (read once, by :func:`default_execution`):
     Directory of the content-keyed result store; unset disables it.
 ``REPRO_STORE_MAX_BYTES``
     Size budget of that store (default 512 MiB).
+``REPRO_KERNEL``
+    Array-kernel backend for the hot loops (``auto``/``numpy``/
+    ``numba``; read by :func:`repro.circuit.kernels.resolve_kernel`).
 
 Tests and programs that need a different default (e.g. a temporary
 store) install one with :func:`set_default_execution` instead of
@@ -27,6 +30,7 @@ from dataclasses import dataclass
 
 from .._util import require
 from ..circuit import dc as _dc
+from ..circuit.kernels import backend as _kernels
 from .store import DEFAULT_MAX_BYTES, DcStoreMemo, ResultStore
 
 __all__ = ["ExecutionConfig", "default_execution", "set_default_execution",
@@ -47,6 +51,19 @@ def _install_dc_memo(config: "ExecutionConfig | None") -> None:
     _dc.set_dc_memo(DcStoreMemo(config.store)
                     if config is not None and config.store is not None
                     else None)
+
+
+def _install_kernel(config: "ExecutionConfig | None") -> None:
+    """Mirror the default config's kernel choice into the circuit layer.
+
+    Like the DC memo, the kernel backend is consulted deep inside the
+    transient engines where no ``ExecutionConfig`` travels, so the
+    default config installs it process-wide.  ``None`` (config unset)
+    falls back to the ``REPRO_KERNEL`` environment variable.  The
+    kernel changes execution speed only, never results — it must not
+    (and does not) enter result-store keys.
+    """
+    _kernels.set_default_kernel(config.kernel if config is not None else None)
 
 
 def store_max_bytes(env: "os._Environ | dict" = os.environ) -> int:
@@ -83,15 +100,25 @@ class ExecutionConfig:
         re-simulation) solve in milliseconds — pool creation plus
         pickling would dwarf them — so they run inline even when
         ``workers > 1``.
+    kernel:
+        Array-kernel backend name for the hot loops (``auto``/
+        ``numpy``/``numba``).  Installed process-wide when this config
+        is the default (see :func:`_install_kernel`); pool workers
+        inherit it through their environment.  Performance-only: never
+        part of result-store keys.
     """
 
     workers: int = 1
     store: ResultStore | None = None
     min_pool_jobs: int = 4
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         require(self.workers >= 1, "workers must be at least 1")
         require(self.min_pool_jobs >= 2, "min_pool_jobs must be at least 2")
+        require(self.kernel in _kernels.KERNEL_NAMES,
+                f"unknown kernel backend {self.kernel!r}; pick from "
+                f"{_kernels.KERNEL_NAMES}")
 
     @classmethod
     def from_env(cls, env: "os._Environ | dict" = os.environ) -> "ExecutionConfig":
@@ -104,7 +131,10 @@ class ExecutionConfig:
         root = env.get("REPRO_STORE", "")
         if root:
             store = ResultStore(root, max_bytes=store_max_bytes(env))
-        return cls(workers=max(1, workers), store=store)
+        kernel = env.get("REPRO_KERNEL", "auto")
+        if kernel not in _kernels.KERNEL_NAMES:
+            kernel = "auto"
+        return cls(workers=max(1, workers), store=store, kernel=kernel)
 
 
 _DEFAULT: ExecutionConfig | None = None
@@ -116,6 +146,7 @@ def default_execution() -> ExecutionConfig:
     if _DEFAULT is None:
         _DEFAULT = ExecutionConfig.from_env()
         _install_dc_memo(_DEFAULT)
+        _install_kernel(_DEFAULT)
     return _DEFAULT
 
 
@@ -123,11 +154,13 @@ def set_default_execution(config: ExecutionConfig | None) -> ExecutionConfig | N
     """Install a new process-wide default; returns the previous one.
 
     ``None`` resets to "unset": the next :func:`default_execution` call
-    re-reads the environment.  The DC operating-point memo follows the
-    installed default (see :func:`_install_dc_memo`).
+    re-reads the environment.  The DC operating-point memo and the
+    kernel-backend default follow the installed default (see
+    :func:`_install_dc_memo` / :func:`_install_kernel`).
     """
     global _DEFAULT
     previous = _DEFAULT
     _DEFAULT = config
     _install_dc_memo(config)
+    _install_kernel(config)
     return previous

@@ -52,13 +52,89 @@ from ..circuit.transient import (TransientJob, TransientResult, job_group_key,
                                  simulate_transient_many)
 from .config import ExecutionConfig, default_execution
 
-__all__ = ["run_jobs", "make_shards", "job_cost"]
+__all__ = ["run_jobs", "make_shards", "job_cost", "fleet_stats",
+           "reset_fleet_stats"]
 
 
 def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarray, dict]]:
     """Worker entry point: solve a shard, return picklable payloads."""
     results = simulate_transient_many(jobs)
     return [(r.times, r._x, r.stats) for r in results]
+
+
+# ----------------------------------------------------------------------
+# Fleet stats: cross-call, cross-worker solver totals
+# ----------------------------------------------------------------------
+
+#: Process-wide accumulator over every :func:`run_jobs` call.  Worker
+#: stats come home inside each result's payload, so sharded runs
+#: contribute exactly like serial ones.
+_FLEET: dict = {}
+
+#: Per-result stats entries that are not additive counters.
+_FLEET_SKIP = frozenset({"batch_size", "backend", "kernel", "adaptive"})
+
+
+def reset_fleet_stats() -> None:
+    """Zero the process-wide fleet totals."""
+    _FLEET.clear()
+
+
+def _fleet_round(value: float) -> "int | float":
+    return int(round(value)) if abs(value - round(value)) < 1e-6 else value
+
+
+def fleet_stats() -> dict:
+    """Solver totals accumulated across every :func:`run_jobs` call.
+
+    ``runs``/``jobs``/``store_hits``/``store_misses``/``shards``/
+    ``fallback_shards`` describe the execution layer; the engine
+    counters (``newton_iters``, ``halvings``, ``matrix_builds``,
+    ``newton_fallbacks``, adaptive's ``lte_rejects`` …) are the fleet
+    sums of the per-group transient stats, merged across workers.
+    Per-group counters are recovered exactly from the per-result copies
+    (see :func:`_accumulate_fleet`), so integer counters come back as
+    integers.
+    """
+    flat = {k: _fleet_round(v) for k, v in _FLEET.items()
+            if not isinstance(v, dict)}
+    for k, v in _FLEET.items():
+        if isinstance(v, dict):
+            flat[k] = {kk: vv for kk, vv in v.items()}
+    return flat
+
+
+def _accumulate_fleet(solved: "list[TransientResult | None]",
+                      info: dict) -> None:
+    """Fold one call's solved results and diagnostics into the fleet.
+
+    Every member of a batched solve group carries an identical *copy* of
+    the group's stats dict (and sharded groups come home as exactly the
+    members the worker solved together), so each group counter is summed
+    ``batch_size`` times at weight ``1/batch_size`` — recovering the
+    group total without needing a shared-identity marker that would not
+    survive pickling.  Store hits contribute nothing: their simulations
+    ran (and were counted) when the store was populated.
+    """
+    _FLEET["runs"] = _FLEET.get("runs", 0) + 1
+    for key in ("jobs", "store_hits", "store_misses", "shards",
+                "fallback_shards"):
+        _FLEET[key] = _FLEET.get(key, 0) + info.get(key, 0)
+    for res in solved:
+        if res is None:
+            continue
+        stats = res.stats
+        weight = 1.0 / max(1, int(stats.get("batch_size", 1)))
+        for key, value in stats.items():
+            if key in _FLEET_SKIP:
+                continue
+            if isinstance(value, dict):
+                bucket = _FLEET.setdefault(key, {})
+                for kk, vv in value.items():
+                    bucket[kk] = bucket.get(kk, 0.0) + vv * weight
+            elif isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                _FLEET[key] = _FLEET.get(key, 0.0) + value * weight
 
 
 def job_cost(job: TransientJob, mna: MnaSystem) -> float:
@@ -176,16 +252,19 @@ def run_jobs(
     """
     jobs = list(jobs)
     cfg = execution if execution is not None else default_execution()
+    info = {"mode": "serial", "jobs": len(jobs), "store_hits": 0,
+            "store_misses": 0, "shards": 0, "fallback_shards": 0}
     if diag is not None:
-        diag.update({"mode": "serial", "jobs": len(jobs), "store_hits": 0,
-                     "store_misses": 0, "shards": 0, "fallback_shards": 0})
+        diag.update(info)
     if not jobs:
         return []
 
     store = cfg.store
     workers = max(1, int(cfg.workers))
     if store is None and workers == 1:
-        return simulate_transient_many(jobs)
+        results = simulate_transient_many(jobs)
+        _accumulate_fleet(results, info)
+        return results
 
     results: list[TransientResult | None] = [None] * len(jobs)
     mnas = [MnaSystem(job.circuit) for job in jobs]
@@ -204,9 +283,9 @@ def run_jobs(
     if store is not None and pending:
         pending = _coherent_adaptive_pending(jobs, mnas, results, pending,
                                              store)
-    if diag is not None and store is not None:
-        diag["store_hits"] = len(jobs) - len(pending)
-        diag["store_misses"] = len(pending)
+    if store is not None:
+        info["store_hits"] = len(jobs) - len(pending)
+        info["store_misses"] = len(pending)
 
     if pending:
         if workers == 1 or len(pending) < cfg.min_pool_jobs:
@@ -215,7 +294,7 @@ def run_jobs(
             for k, res in zip(pending, solved):
                 results[k] = res
         else:
-            _run_sharded(pending, jobs, mnas, results, workers, diag)
+            _run_sharded(pending, jobs, mnas, results, workers, info)
 
     if store is not None:
         for k in pending:
@@ -227,6 +306,9 @@ def run_jobs(
                     # revoked permission must degrade to an uncached run,
                     # never discard hours of completed simulation.
                     store.write_errors += 1
+    if diag is not None:
+        diag.update(info)
+    _accumulate_fleet([results[k] for k in pending], info)
     return results  # type: ignore[return-value]
 
 
@@ -273,12 +355,11 @@ def _run_sharded(
     mnas: list[MnaSystem],
     results: list[TransientResult | None],
     workers: int,
-    diag: dict | None,
+    info: dict,
 ) -> None:
     """Solve ``pending`` across a process pool, serial fallback on failure."""
     shards = make_shards(pending, jobs, mnas, workers)
-    if diag is not None:
-        diag.update({"mode": "sharded", "shards": len(shards)})
+    info.update({"mode": "sharded", "shards": len(shards)})
 
     def solve_inline(shard: list[int]) -> None:
         solved = simulate_transient_many([jobs[k] for k in shard],
@@ -290,9 +371,8 @@ def _run_sharded(
         executor = ProcessPoolExecutor(max_workers=len(shards),
                                        mp_context=_pool_context())
     except Exception:
-        if diag is not None:
-            diag.update({"mode": "serial", "shards": 0,
-                         "fallback_shards": len(shards)})
+        info.update({"mode": "serial", "shards": 0,
+                     "fallback_shards": len(shards)})
         for shard in shards:
             solve_inline(shard)
         return
@@ -308,8 +388,7 @@ def _run_sharded(
                 # A dead or failing worker (crash, OOM kill, pickling
                 # error) must not take the run down: re-solve its shard
                 # in-process, deterministically.
-                if diag is not None:
-                    diag["fallback_shards"] += 1
+                info["fallback_shards"] += 1
                 solve_inline(shard)
                 continue
             for k, (times, x, stats) in zip(shard, payload):

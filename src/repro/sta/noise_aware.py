@@ -58,7 +58,8 @@ from ..circuit.netlist import Circuit
 from ..circuit.sources import RampSource
 from ..circuit.transient import TransientJob, TransientOptions, resolve_adaptive
 from ..core.ramp import SaturatedRamp
-from ..exec import ExecutionConfig, default_execution, run_jobs
+from ..exec import (ExecutionConfig, default_execution, fleet_stats,
+                    reset_fleet_stats, run_jobs)
 from ..core.techniques import PropagationInputs, Technique
 from ..core.techniques.sgdp import Sgdp
 from ..core.waveform import Waveform
@@ -212,6 +213,7 @@ def clear_quiet_cache(drop_store_entries: bool = False) -> None:
     entries too.
     """
     _QUIET_CACHE.clear()
+    reset_fleet_stats()
     store = default_execution().store
     if store is not None:
         if drop_store_entries:
@@ -227,12 +229,17 @@ def quiet_cache_stats() -> dict:
     cache; ``store`` holds the default execution configuration's
     result-store stats (:meth:`repro.exec.ResultStore.stats` — hits,
     misses, corrupt entries, evictions, entry count and bytes), or
-    ``None`` when no store is configured.
+    ``None`` when no store is configured; ``fleet`` is the
+    execution layer's cross-worker solver totals
+    (:func:`repro.exec.fleet_stats` — newton iterations, halvings,
+    matrix builds … summed over every ``run_jobs`` call, sharded or
+    serial).  :func:`clear_quiet_cache` resets all three.
     """
     store = default_execution().store
     return {"hits": _QUIET_CACHE.hits, "misses": _QUIET_CACHE.misses,
             "size": len(_QUIET_CACHE),
-            "store": store.stats() if store is not None else None}
+            "store": store.stats() if store is not None else None,
+            "fleet": fleet_stats()}
 
 
 def _build_stage_circuit(stage: NoisyStage, vdd: float) -> tuple[Circuit, dict[str, float], str, str]:

@@ -1,0 +1,466 @@
+"""Array-kernel backends: flat primitives, loop kernels, knob, equivalence.
+
+The contract of :mod:`repro.circuit.kernels` is that the kernel backend
+changes execution speed only, never results: the flat MOSFET primitive
+is *the* device evaluator (a scalar operating point is a batch of one,
+bit for bit), the loop kernels mirror the vectorised reference math
+op for op, the ``REPRO_KERNEL`` knob only renames which machine runs
+the arithmetic, and a missing numba degrades to NumPy instead of
+failing.  Kernel choice must never enter result-store keys.
+"""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import dc_operating_point_batch
+from repro.circuit.kernels import (HAVE_NUMBA, KernelBackend,
+                                   available_kernels, resolve_kernel,
+                                   set_default_kernel)
+from repro.circuit.kernels._loops import make_kernels, plain_kernels
+from repro.circuit.kernels.backend import NUMPY_KERNEL
+from repro.circuit.kernels.step_kernels import mos_eval
+from repro.circuit.mna import MnaSystem
+from repro.circuit.mosfet import mosfet_eval
+from repro.circuit.solvers import HAVE_SCIPY
+from repro.circuit.transient import (TransientJob, TransientOptions,
+                                     simulate_transient,
+                                     simulate_transient_many)
+from repro.exec import ExecutionConfig, fleet_stats, job_key, run_jobs
+from repro.experiments.setup import (CONFIG_I, CrosstalkConfig,
+                                     build_testbench)
+
+VOLTAGE_TOL = 1e-9
+
+
+@pytest.fixture
+def plain_backend():
+    """Install the un-jitted loop kernels as the process default.
+
+    Runs the exact code numba would compile, interpreted — so the fused
+    engine paths are exercised (and diffed against the reference loops)
+    without numba installed.
+    """
+    backend = KernelBackend("plain", plain_kernels())
+    previous = set_default_kernel(backend)
+    yield backend
+    set_default_kernel(previous)
+
+
+def _device_grid():
+    """(vd, vg, vs, pol, beta, vth, lam) covering every model region.
+
+    Cutoff, triode, saturation, the vds == vov boundary, reversed drain
+    bias (source/drain swap) and both polarities, near and away from
+    the smoothing scale.
+    """
+    vgs = np.array([-0.3, 0.0, 0.25, 0.31, 0.32, 0.33, 0.6, 1.2])
+    vds = np.array([-0.8, -0.05, 0.0, 0.005, 0.28, 0.88, 1.2])
+    vg, vd = np.meshgrid(vgs, vds, indexing="ij")
+    vg, vd = vg.ravel(), vd.ravel()
+    vs = np.zeros_like(vd)
+    n = vd.size
+    rows = []
+    for pol in (1.0, -1.0):
+        rows.append((pol * vd, pol * vg, vs,
+                     np.full(n, pol), np.full(n, 8e-4),
+                     np.full(n, 0.32), np.full(n, 0.06)))
+    return [np.concatenate(parts) for parts in zip(*rows)]
+
+
+class TestFlatPrimitive:
+    def test_scalar_is_batch_of_one_bitwise(self):
+        vd, vg, vs, pol, beta, vth, lam = _device_grid()
+        flat = mos_eval(vd, vg, vs, pol, beta, vth, lam)
+        batched = mos_eval(vd[None, :], vg[None, :], vs[None, :],
+                           pol, beta, vth, lam)
+        for a, b in zip(flat, batched):
+            assert b.shape == (1, vd.size)
+            assert np.array_equal(a, b[0])
+
+    def test_mosfet_eval_is_the_flat_primitive(self):
+        vd, vg, vs, pol, beta, vth, lam = _device_grid()
+        a = mosfet_eval(vd, vg, vs, pol, beta, vth, lam)
+        b = mos_eval(vd, vg, vs, pol, beta, vth, lam)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_currents_change_sign_with_drain_bias(self):
+        # The square-law device is symmetric: swapping drain bias sign
+        # flips the current — a cheap sanity check that the swap frame
+        # in the primitive is live, not dead code.
+        ids_f, *_ = mos_eval(np.array([0.6]), np.array([1.2]),
+                             np.array([0.0]), np.array([1.0]),
+                             np.array([8e-4]), np.array([0.32]),
+                             np.array([0.0]))
+        ids_r, *_ = mos_eval(np.array([-0.6]), np.array([0.6]),
+                             np.array([0.0]), np.array([1.0]),
+                             np.array([8e-4]), np.array([0.32]),
+                             np.array([0.0]))
+        assert ids_f[0] > 0.0
+        # Reverse frame: source and drain swap, gate overdrive differs,
+        # but the current must be negative (flowing out of the drain).
+        assert ids_r[0] < 0.0
+
+    def test_loop_eval_matches_vectorised_bitwise(self):
+        loops = plain_kernels()
+        vd, vg, vs, pol, beta, vth, lam = _device_grid()
+        ref = mos_eval(vd, vg, vs, pol, beta, vth, lam)
+        n = vd.size
+        out = np.empty((4, n))
+        loops.mos_eval_flat(vd, vg, vs, pol, beta, vth, lam,
+                            out[0], out[1], out[2], out[3])
+        for a, b in zip(ref, out):
+            assert np.array_equal(a, b)
+
+
+@pytest.mark.skipif(not HAVE_SCIPY, reason="needs scipy's LAPACK wrappers")
+class TestBandedTrs:
+    @pytest.mark.parametrize("seed,n,kl,ku,nrhs", [(0, 12, 2, 2, 1),
+                                                   (1, 25, 3, 1, 4),
+                                                   (2, 40, 1, 3, 2)])
+    def test_matches_lapack_gbtrs(self, seed, n, kl, ku, nrhs):
+        from scipy.linalg import lapack
+
+        rng = np.random.default_rng(seed)
+        ab = np.zeros((2 * kl + ku + 1, n))
+        for i in range(-kl, ku + 1):
+            ab[kl + ku - i, max(i, 0):n + min(i, 0)] = \
+                rng.uniform(-1.0, 1.0, n - abs(i))
+        ab[kl + ku] += 4.0  # diagonally dominant: no degenerate pivots
+        lu, ipiv, info = lapack.dgbtrf(ab, kl, ku)
+        assert info == 0
+        b = rng.uniform(-1.0, 1.0, (n, nrhs))
+        ref, info = lapack.dgbtrs(lu, kl, ku, b, ipiv)
+        assert info == 0
+        mine = np.asfortranarray(b.copy())
+        plain_kernels().banded_trs(np.ascontiguousarray(lu),
+                                   np.ascontiguousarray(ipiv),
+                                   kl, ku, mine)
+        np.testing.assert_allclose(mine, ref, rtol=0, atol=1e-13)
+
+
+def _table1_bench(off=0.0):
+    return build_testbench(CONFIG_I, victim_start=0.2e-9,
+                           aggressor_starts=[0.25e-9 + off],
+                           aggressor_active=True)
+
+
+def _deep_config(n_segments):
+    return CrosstalkConfig(name=f"deep{n_segments}", n_aggressors=1,
+                           line_length_um=1000.0,
+                           coupling_per_aggressor=100e-15,
+                           n_segments=n_segments)
+
+
+def _worst_dv(a, b):
+    return max(float(np.max(np.abs(b.voltages_at(n, a.times)
+                                   - a.voltage_samples(n))))
+               for n in a.node_names)
+
+
+class TestLoopBackendEquivalence:
+    """Fused plain-loop engine vs the vectorised reference, end to end."""
+
+    def test_dense_scalar_and_batch(self, plain_backend):
+        benches = [_table1_bench(off) for off in (-0.1e-9, 0.0, 0.1e-9)]
+        jobs = [TransientJob(b.circuit, t_stop=1.1e-9, dt=4e-12,
+                             initial_voltages=b.initial_voltages)
+                for b in benches]
+        set_default_kernel(NUMPY_KERNEL)
+        ref_s = simulate_transient(benches[0].circuit, t_stop=1.1e-9,
+                                   dt=4e-12,
+                                   initial_voltages=benches[0].initial_voltages)
+        ref_b = simulate_transient_many(jobs)
+        set_default_kernel(plain_backend)
+        res_s = simulate_transient(benches[0].circuit, t_stop=1.1e-9,
+                                   dt=4e-12,
+                                   initial_voltages=benches[0].initial_voltages)
+        res_b = simulate_transient_many(jobs)
+        assert res_s.stats["kernel"] == "plain"
+        assert ref_s.stats["kernel"] == "numpy"
+        assert _worst_dv(ref_s, res_s) < VOLTAGE_TOL
+        # Same damping/convergence sequence, not just close waveforms.
+        assert res_s.stats["newton_iters"] == ref_s.stats["newton_iters"]
+        for r, f in zip(ref_b, res_b):
+            assert _worst_dv(r, f) < VOLTAGE_TOL
+        assert res_b[0].stats["newton_iters"] == ref_b[0].stats["newton_iters"]
+
+    def test_bordered_banded_batch(self, plain_backend):
+        tb = build_testbench(_deep_config(96), 0.05e-9, (0.06e-9,))
+        opts = TransientOptions(backend="banded")
+        jobs = [TransientJob(tb.circuit, t_stop=0.2e-9, dt=2e-12,
+                             initial_voltages=dict(tb.initial_voltages),
+                             options=opts)
+                for _ in range(3)]
+        set_default_kernel(NUMPY_KERNEL)
+        ref = simulate_transient_many(jobs)
+        set_default_kernel(plain_backend)
+        res = simulate_transient_many(jobs)
+        assert ref[0].stats["backend"] == res[0].stats["backend"] == "banded"
+        assert res[0].stats["newton_fallbacks"] == 0
+        for r, f in zip(ref, res):
+            assert _worst_dv(r, f) < VOLTAGE_TOL
+        assert res[0].stats["newton_iters"] == ref[0].stats["newton_iters"]
+
+    def test_adaptive(self, plain_backend):
+        tb = _table1_bench()
+        opts = TransientOptions(adaptive=True)
+        set_default_kernel(NUMPY_KERNEL)
+        ref = simulate_transient(tb.circuit, t_stop=1.1e-9, dt=4e-12,
+                                 initial_voltages=tb.initial_voltages,
+                                 options=opts)
+        set_default_kernel(plain_backend)
+        res = simulate_transient(tb.circuit, t_stop=1.1e-9, dt=4e-12,
+                                 initial_voltages=tb.initial_voltages,
+                                 options=opts)
+        # Identical accepted grids: the LTE controller saw identical
+        # solutions.
+        np.testing.assert_array_equal(ref.times, res.times)
+        assert _worst_dv(ref, res) < VOLTAGE_TOL
+
+    def test_dc_backend_invariant(self, plain_backend):
+        # catch_singular solves keep the reference loop under any
+        # backend, so DC results are identical by construction.
+        benches = [_table1_bench(off) for off in (0.0, 0.1e-9)]
+        circuits = [b.circuit for b in benches]
+        initial = [dict(b.initial_voltages) for b in benches]
+        set_default_kernel(NUMPY_KERNEL)
+        ref = dc_operating_point_batch(circuits, initial_voltages=initial)
+        set_default_kernel(plain_backend)
+        res = dc_operating_point_batch(circuits, initial_voltages=initial)
+        for r, f in zip(ref, res):
+            np.testing.assert_array_equal(r.solution, f.solution)
+
+
+class TestKernelKnob:
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        prev = set_default_kernel(None)
+        try:
+            auto = resolve_kernel()
+            assert auto.name == ("numba" if HAVE_NUMBA else "numpy")
+            monkeypatch.setenv("REPRO_KERNEL", "numpy")
+            assert resolve_kernel().name == "numpy"
+            # An installed default wins over the environment.
+            set_default_kernel("auto")
+            assert resolve_kernel().name == auto.name
+        finally:
+            set_default_kernel(prev)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_kernel("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_default_kernel("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            ExecutionConfig(kernel="cuda")
+
+    def test_execution_config_installs_kernel(self):
+        from repro.exec import set_default_execution
+
+        prev_kernel = set_default_kernel(None)
+        prev_exec = set_default_execution(ExecutionConfig(kernel="numpy"))
+        try:
+            assert resolve_kernel().name == "numpy"
+        finally:
+            set_default_execution(prev_exec)
+            set_default_kernel(prev_kernel)
+
+    def test_from_env_reads_kernel(self):
+        cfg = ExecutionConfig.from_env({"REPRO_KERNEL": "numpy"})
+        assert cfg.kernel == "numpy"
+        # Malformed values degrade to auto rather than crashing the run.
+        assert ExecutionConfig.from_env({"REPRO_KERNEL": "gpu"}).kernel == "auto"
+
+    def test_available_kernels(self):
+        names = available_kernels()
+        assert "numpy" in names
+        assert ("numba" in names) == HAVE_NUMBA
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="covers the numba-less host")
+    def test_numba_request_degrades_with_warning(self):
+        import repro.circuit.kernels.backend as backend_mod
+
+        prev = set_default_kernel(None)
+        backend_mod._warned_missing = False
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                k = resolve_kernel("numba")
+            assert k.name == "numpy"
+            assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+        finally:
+            backend_mod._warned_missing = False
+            set_default_kernel(prev)
+
+
+class TestNumbaAbsentImport:
+    def test_graceful_numpy_fallback_without_numba(self):
+        """Blocking numba at the import layer must leave a working engine."""
+        script = r"""
+import sys
+class _Block:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numba" or name.startswith("numba."):
+            raise ImportError("numba blocked for this test")
+        return None
+sys.meta_path.insert(0, _Block())
+for mod in list(sys.modules):
+    if mod == "numba" or mod.startswith("numba."):
+        del sys.modules[mod]
+
+from repro.circuit.kernels import HAVE_NUMBA, available_kernels, resolve_kernel
+assert not HAVE_NUMBA
+assert available_kernels() == ("numpy",)
+assert resolve_kernel().name == "numpy"
+assert resolve_kernel("auto").name == "numpy"
+
+from repro.circuit import Circuit, simulate_transient
+c = Circuit("rc")
+c.vsource("V1", "a", "0", 1.0)
+c.resistor("R1", "a", "b", 1e3)
+c.capacitor("C1", "b", "0", 1e-12)
+r = simulate_transient(c, t_stop=5e-9, dt=0.1e-9)
+assert r.stats["kernel"] == "numpy"
+print("OK")
+"""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env.pop("REPRO_KERNEL", None)
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              capture_output=True, text=True, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="needs numba installed")
+class TestNumbaEquivalence:
+    """numpy vs numba backends on the paper fixtures, <1e-9 V."""
+
+    @pytest.fixture(scope="class")
+    def numba_backend(self):
+        return resolve_kernel("numba")
+
+    def _diff(self, run):
+        prev = set_default_kernel(NUMPY_KERNEL)
+        try:
+            ref = run()
+            set_default_kernel(resolve_kernel("numba"))
+            res = run()
+        finally:
+            set_default_kernel(prev)
+        return ref, res
+
+    def test_table1_scalar_and_batch(self, numba_backend):
+        benches = [_table1_bench(off) for off in (-0.1e-9, 0.0, 0.1e-9)]
+        jobs = [TransientJob(b.circuit, t_stop=1.1e-9, dt=4e-12,
+                             initial_voltages=b.initial_voltages)
+                for b in benches]
+        ref, res = self._diff(lambda: simulate_transient_many(jobs))
+        assert res[0].stats["kernel"] == "numba"
+        for r, f in zip(ref, res):
+            assert _worst_dv(r, f) < VOLTAGE_TOL
+
+    def test_gate_drives_192_segment_line(self, numba_backend):
+        tb = build_testbench(_deep_config(192), 0.05e-9, (0.06e-9,))
+        opts = TransientOptions(backend="banded")
+
+        def run():
+            return simulate_transient(tb.circuit, t_stop=0.2e-9, dt=2e-12,
+                                      initial_voltages=dict(tb.initial_voltages),
+                                      options=opts)
+
+        ref, res = self._diff(run)
+        assert res.stats["backend"] == "banded"
+        assert _worst_dv(ref, res) < VOLTAGE_TOL
+
+    def test_adaptive_and_dc(self, numba_backend):
+        tb = _table1_bench()
+        opts = TransientOptions(adaptive=True)
+
+        def run():
+            return simulate_transient(tb.circuit, t_stop=1.1e-9, dt=4e-12,
+                                      initial_voltages=tb.initial_voltages,
+                                      options=opts)
+
+        ref, res = self._diff(run)
+        np.testing.assert_array_equal(ref.times, res.times)
+        assert _worst_dv(ref, res) < VOLTAGE_TOL
+
+        def run_dc():
+            return dc_operating_point_batch(
+                [tb.circuit], initial_voltages=[dict(tb.initial_voltages)])
+
+        ref_dc, res_dc = self._diff(run_dc)
+        np.testing.assert_array_equal(ref_dc[0].solution, res_dc[0].solution)
+
+
+class TestStoreKeyInvariance:
+    def test_job_key_ignores_kernel(self, plain_backend):
+        tb = _table1_bench()
+        job = TransientJob(tb.circuit, t_stop=1.1e-9, dt=4e-12,
+                           initial_voltages=tb.initial_voltages)
+        mna = MnaSystem(tb.circuit)
+        with_plain = job_key(job, mna)
+        set_default_kernel(NUMPY_KERNEL)
+        with_numpy = job_key(job, mna)
+        assert with_plain == with_numpy
+
+    def test_kernel_not_a_transient_option(self):
+        # The knob must stay process-level: a TransientOptions field
+        # would leak into job_group_key and the store keys.
+        assert not hasattr(TransientOptions(), "kernel")
+
+
+class TestPhaseTimers:
+    def _run(self):
+        tb = _table1_bench()
+        return simulate_transient(tb.circuit, t_stop=0.4e-9, dt=4e-12,
+                                  initial_voltages=tb.initial_voltages)
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PHASE_TIMERS", raising=False)
+        assert "phase_seconds" not in self._run().stats
+
+    def test_enabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PHASE_TIMERS", "1")
+        phases = self._run().stats["phase_seconds"]
+        assert set(phases) <= {"factor", "stamp", "device_eval", "solve",
+                               "overhead", "total"}
+        assert all(v >= 0.0 for v in phases.values())
+        known = sum(v for k, v in phases.items() if k not in ("total",))
+        assert phases["total"] > 0.0
+        assert known == pytest.approx(phases["total"], rel=1e-6)
+
+    def test_off_switch_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PHASE_TIMERS", "0")
+        assert "phase_seconds" not in self._run().stats
+
+
+class TestFleetStats:
+    def test_serial_accumulation_and_reset(self):
+        from repro.exec import reset_fleet_stats
+        from repro.sta import quiet_cache_stats
+
+        tb = _table1_bench()
+        jobs = [TransientJob(tb.circuit, t_stop=0.4e-9, dt=4e-12,
+                             initial_voltages=tb.initial_voltages)
+                for _ in range(3)]
+        reset_fleet_stats()
+        run_jobs(jobs, ExecutionConfig(workers=1))
+        fleet = fleet_stats()
+        assert fleet["runs"] == 1
+        assert fleet["jobs"] == 3
+        assert fleet["newton_iters"] > 0
+        assert isinstance(fleet["newton_iters"], int)
+        assert fleet["matrix_builds"] >= 1
+        assert quiet_cache_stats()["fleet"]["newton_iters"] \
+            == fleet["newton_iters"]
+        reset_fleet_stats()
+        assert fleet_stats() == {}
