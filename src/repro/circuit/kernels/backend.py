@@ -24,11 +24,11 @@ enter result-store keys.
 from __future__ import annotations
 
 import importlib.util
-import os
 import warnings
 
 import numpy as np
 
+from ..._knobs import knob
 from ..._util import require
 from . import _loops
 from .step_kernels import DeviceArrays
@@ -43,6 +43,7 @@ def _probe_numba() -> bool:
     never take the import down."""
     try:
         return importlib.util.find_spec("numba") is not None
+    # reprolint: silent-fallback(the probe's job is to report availability — HAVE_NUMBA=False is the visible, tested outcome, and resolve_kernel warns when numba was explicitly requested)
     except Exception:
         return False
 
@@ -118,6 +119,7 @@ def _build_numba() -> KernelBackend | None:
         return None
     try:
         import numba
+    # reprolint: silent-fallback(a broken numba install degrades to the NumPy backend — numerically identical — and resolve_kernel warns when numba was explicitly requested)
     except Exception:  # pragma: no cover - broken install
         return None
     njit = numba.njit(cache=True)
@@ -153,14 +155,16 @@ def set_default_kernel(kernel: "KernelBackend | str | None"):
 def resolve_kernel(name: "KernelBackend | str | None" = None) -> KernelBackend:
     """The concrete backend a kernel request resolves to.
 
-    ``None`` consults the installed default, then ``REPRO_KERNEL``,
-    then ``auto``.  ``auto`` prefers numba; an explicit ``numba``
-    request without numba installed degrades gracefully to NumPy.
+    ``None`` consults the installed default, then the ``REPRO_KERNEL``
+    knob (declared in :mod:`repro._knobs`; unknown environment values
+    fall back to ``auto`` — leniency is for the environment only, an
+    explicit bad ``name`` argument still raises), then ``auto``.
+    ``auto`` prefers numba; an explicit ``numba`` request without numba
+    installed degrades gracefully to NumPy.
     """
     global _warned_missing
     if name is None:
-        name = _DEFAULT if _DEFAULT is not None \
-            else os.environ.get("REPRO_KERNEL", "auto")
+        name = _DEFAULT if _DEFAULT is not None else knob("REPRO_KERNEL")
     if isinstance(name, KernelBackend):
         return name
     require(name in KERNEL_NAMES,

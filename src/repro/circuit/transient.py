@@ -145,7 +145,6 @@ from __future__ import annotations
 
 import copy
 import math
-import os
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
@@ -155,6 +154,7 @@ import numpy as np
 
 from time import perf_counter
 
+from .._knobs import knob
 from .._util import require
 from ..core.waveform import Waveform
 from .dc import dc_operating_point, dc_operating_point_batch
@@ -187,15 +187,14 @@ def resolve_adaptive(flag: "bool | None" = None) -> bool:
     """Resolve an adaptive-stepping request against the environment.
 
     ``True``/``False`` pass through; ``None`` means "let the environment
-    decide": the ``REPRO_ADAPTIVE`` variable (``1``/``true``/``yes``/
-    ``on``) enables LTE-controlled stepping for every driver that did
-    not pin a mode explicitly.  Read per call so tests can monkeypatch
-    the environment.
+    decide": the ``REPRO_ADAPTIVE`` knob (``1``/``true``/``yes``/``on``;
+    declared in :mod:`repro._knobs`) enables LTE-controlled stepping for
+    every driver that did not pin a mode explicitly.  Read per call so
+    tests can monkeypatch the environment.
     """
     if flag is not None:
         return bool(flag)
-    return os.environ.get("REPRO_ADAPTIVE", "").strip().lower() in (
-        "1", "true", "yes", "on")
+    return knob("REPRO_ADAPTIVE")
 
 
 @dataclass(frozen=True)
@@ -423,17 +422,16 @@ _STEP_CACHE_ENTRIES = 16
 def _phase_timers() -> "dict | None":
     """A fresh phase-timer dict, or ``None`` when timing is disabled.
 
-    ``REPRO_PHASE_TIMERS=1`` turns it on; the engines then publish
-    ``stats["phase_seconds"]`` with ``factor`` (matrix builds and
-    factorizations), ``stamp`` (companion/rhs assembly), ``device_eval``
-    (MOSFET linearisation and stamping), ``solve`` (linear solves, and
-    whole fused kernel calls), ``overhead`` (everything else) and
-    ``total``.  Disabled runs pay exactly one environment lookup per
-    engine invocation — every timing site is guarded by a ``None``
-    check.
+    ``REPRO_PHASE_TIMERS=1`` (declared in :mod:`repro._knobs`) turns it
+    on; the engines then publish ``stats["phase_seconds"]`` with
+    ``factor`` (matrix builds and factorizations), ``stamp``
+    (companion/rhs assembly), ``device_eval`` (MOSFET linearisation and
+    stamping), ``solve`` (linear solves, and whole fused kernel calls),
+    ``overhead`` (everything else) and ``total``.  Disabled runs pay
+    exactly one environment lookup per engine invocation — every timing
+    site is guarded by a ``None`` check.
     """
-    flag = os.environ.get("REPRO_PHASE_TIMERS", "").strip().lower()
-    return {} if flag in ("1", "true", "yes", "on") else None
+    return {} if knob("REPRO_PHASE_TIMERS") else None
 
 
 def _phase_add(timers: "dict | None", key: str, dt: float) -> None:

@@ -6,7 +6,8 @@ ablations, ``propagate_path``), so a single object decides how *all*
 simulations of a run execute — in-process, sharded over a pool, and/or
 memoised through the on-disk store.
 
-Environment knobs (read once, by :func:`default_execution`):
+Environment knobs (read once, by :func:`default_execution`; all declared
+in :mod:`repro._knobs`):
 
 ``REPRO_WORKERS``
     Process count for the shard scheduler (default 1 = in-process).
@@ -28,6 +29,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from .._knobs import knob
 from .._util import require
 from ..circuit import dc as _dc
 from ..circuit.kernels import backend as _kernels
@@ -71,13 +73,10 @@ def store_max_bytes(env: "os._Environ | dict" = os.environ) -> int:
 
     Malformed *and* non-positive values fall back to the default —
     ``REPRO_STORE_MAX_BYTES=0`` must not crash every subsequent run
-    (unset ``REPRO_STORE`` to disable the store).
+    (unset ``REPRO_STORE`` to disable the store).  Parsing lives in the
+    :mod:`repro._knobs` declaration table.
     """
-    try:
-        value = int(env.get("REPRO_STORE_MAX_BYTES", DEFAULT_MAX_BYTES))
-    except ValueError:
-        return DEFAULT_MAX_BYTES
-    return value if value > 0 else DEFAULT_MAX_BYTES
+    return knob("REPRO_STORE_MAX_BYTES", env)
 
 
 @dataclass(frozen=True)
@@ -122,19 +121,19 @@ class ExecutionConfig:
 
     @classmethod
     def from_env(cls, env: "os._Environ | dict" = os.environ) -> "ExecutionConfig":
-        """Build the configuration the environment asks for."""
-        try:
-            workers = int(env.get("REPRO_WORKERS", "1"))
-        except ValueError:
-            workers = 1
+        """Build the configuration the environment asks for.
+
+        Every knob resolves through the :mod:`repro._knobs` declaration
+        table, so malformed values (``REPRO_WORKERS=lots``,
+        ``REPRO_KERNEL=gpu``) fall back to their declared defaults
+        instead of crashing the run.
+        """
         store = None
-        root = env.get("REPRO_STORE", "")
+        root = knob("REPRO_STORE", env)
         if root:
             store = ResultStore(root, max_bytes=store_max_bytes(env))
-        kernel = env.get("REPRO_KERNEL", "auto")
-        if kernel not in _kernels.KERNEL_NAMES:
-            kernel = "auto"
-        return cls(workers=max(1, workers), store=store, kernel=kernel)
+        return cls(workers=knob("REPRO_WORKERS", env), store=store,
+                   kernel=knob("REPRO_KERNEL", env))
 
 
 _DEFAULT: ExecutionConfig | None = None

@@ -371,8 +371,11 @@ def _run_sharded(
         executor = ProcessPoolExecutor(max_workers=len(shards),
                                        mp_context=_pool_context())
     except Exception:
-        info.update({"mode": "serial", "shards": 0,
-                     "fallback_shards": len(shards)})
+        # Pool creation can fail outright (fork limits, missing
+        # semaphores in containers); degrade to the deterministic
+        # in-process path, counted per shard in the diagnostics.
+        info.update({"mode": "serial", "shards": 0})
+        info["fallback_shards"] += len(shards)
         for shard in shards:
             solve_inline(shard)
         return

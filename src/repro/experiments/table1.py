@@ -32,10 +32,10 @@ directly; pass ``batch=False`` for the strictly sequential baseline.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
+from .._knobs import knob
 from .._util import require
 from ..core.metrics import ErrorStats, error_stats, format_ps
 from ..core.propagation import finish_evaluation, prepare_evaluation
@@ -64,12 +64,13 @@ _POLARITIES = ("both", "opposing", "same")
 
 
 def default_case_count(fallback: int = 24) -> int:
-    """Sweep density: ``REPRO_CASES`` env var or ``fallback``."""
-    try:
-        n = int(os.environ.get("REPRO_CASES", ""))
-    except ValueError:
-        return fallback
-    return n if n >= 2 else fallback
+    """Sweep density: the ``REPRO_CASES`` knob or ``fallback``.
+
+    Declared in :mod:`repro._knobs`; unset, unparseable, and sub-2
+    values all resolve to ``fallback``.
+    """
+    n = knob("REPRO_CASES")
+    return fallback if n is None else n
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,54 @@
+"""CLI: ``python -m reprolint [paths...]`` — exit 1 on unwaived errors."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import all_rules, run
+from .reporters import render_human, render_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase")
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID",
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write a JSON report to FILE ('-' for stdout)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show waived findings in the human report")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rid, rule in sorted(all_rules().items()):
+            print(f"{rid}: {rule.description} [{rule.severity}]")
+        return 0
+
+    try:
+        result = run(args.paths, rule_ids=args.rules)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.json == "-":
+        print(render_json(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(render_json(result) + "\n")
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

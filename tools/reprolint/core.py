@@ -1,0 +1,308 @@
+"""reprolint framework: rule registry, waivers, file walking, runner.
+
+The framework is deliberately AST-only and dependency-free: rules read
+source text and :mod:`ast` trees, never import the code under analysis,
+so the linter runs (and fails fast) on hosts without the package's
+numeric stack installed.
+
+Rules
+-----
+A rule subclasses :class:`Rule` and registers itself with
+:func:`register`.  Two hooks exist:
+
+* :meth:`Rule.check_file` — called once per scanned file with its
+  :class:`FileContext`; the shape of per-file rules (``silent-fallback``,
+  ``env-knob``, ``nan-policy``).
+* :meth:`Rule.check_project` — called once per run with the whole
+  :class:`Project`; the shape of cross-file rules (``store-key``
+  cross-checks ``circuit/transient.py`` against ``exec/store.py``).
+
+Waivers
+-------
+A finding is waived inline with::
+
+    some_code()  # reprolint: rule-id(the reason this is acceptable)
+
+on the offending line, or on a comment-only line directly above it.
+The reason is mandatory — an empty ``()`` is itself an error — and
+waivers that match no finding are reported (``unused waiver``) so stale
+suppressions cannot accumulate silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Finding", "Waiver", "FileContext", "Project", "Rule",
+           "register", "all_rules", "run", "RunResult"]
+
+SEVERITIES = ("error", "warning")
+
+#: Rule id of the framework's own findings (bad/unused waivers, files
+#: that do not parse).  Not registered: it cannot be waived away.
+META_RULE = "reprolint"
+
+
+@dataclass
+class Finding:
+    """One rule violation (or framework diagnostic) at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    waived: bool = False
+    waiver_reason: "str | None" = None
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*([A-Za-z0-9_-]+)\s*\(([^)]*)\)")
+
+
+@dataclass
+class Waiver:
+    """One inline ``# reprolint: rule(reason)`` suppression."""
+
+    rule: str
+    reason: str
+    comment_line: int  # physical line of the comment itself
+    covers: int        # code line whose findings it suppresses
+    used: bool = False
+
+
+def extract_waivers(lines: "list[str]") -> "list[Waiver]":
+    """Parse waiver comments out of a file's source lines.
+
+    A waiver on a code line covers that line; a waiver on a comment-only
+    line covers the next non-blank, non-comment line (so a waiver can
+    sit above a long statement instead of stretching it further).
+    """
+    waivers: list[Waiver] = []
+    pending: list[Waiver] = []
+    for lineno, text in enumerate(lines, start=1):
+        stripped = text.strip()
+        comment_only = stripped.startswith("#")
+        found = [Waiver(rule=m.group(1), reason=m.group(2).strip(),
+                        comment_line=lineno, covers=lineno)
+                 for m in _WAIVER_RE.finditer(text)]
+        if comment_only:
+            pending.extend(found)
+            continue
+        if stripped and pending:
+            for w in pending:
+                w.covers = lineno
+            waivers.extend(pending)
+            pending = []
+        waivers.extend(found)
+    waivers.extend(pending)  # trailing comment waivers: cover nothing
+    return waivers
+
+
+class FileContext:
+    """One parsed source file handed to the rules."""
+
+    def __init__(self, path: Path, rel: str, source: str):
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel)
+        self.waivers = extract_waivers(self.lines)
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def waiver_for(self, rule: str, line: int) -> "Waiver | None":
+        """The waiver covering ``(rule, line)``, marked used, or ``None``."""
+        for w in self.waivers:
+            if w.rule == rule and w.covers == line:
+                w.used = True
+                return w
+        return None
+
+
+class Project:
+    """The set of files one run analyses."""
+
+    def __init__(self, paths: "list[Path]"):
+        self.paths = [Path(p) for p in paths]
+        self.files: list[FileContext] = []
+        self.broken: list[Finding] = []
+        cwd = Path.cwd().resolve()
+        seen: set[Path] = set()
+        for path in self.paths:
+            for file in sorted(self._py_files(path)):
+                file = file.resolve()
+                if file in seen:
+                    continue
+                seen.add(file)
+                try:
+                    rel = file.relative_to(cwd).as_posix()
+                except ValueError:
+                    rel = file.as_posix()
+                try:
+                    source = file.read_text(encoding="utf-8")
+                    self.files.append(FileContext(file, rel, source))
+                except (SyntaxError, UnicodeDecodeError) as exc:
+                    lineno = getattr(exc, "lineno", None) or 1
+                    self.broken.append(Finding(
+                        META_RULE, rel, lineno,
+                        f"file does not parse: {exc}", "error"))
+
+    @staticmethod
+    def _py_files(path: Path):
+        if path.is_dir():
+            yield from path.rglob("*.py")
+        elif path.suffix == ".py":
+            yield path
+
+    def find(self, suffix: str) -> "FileContext | None":
+        """First scanned file whose path ends with ``suffix`` (posix)."""
+        for ctx in self.files:
+            if ctx.path.as_posix().endswith(suffix):
+                return ctx
+        return None
+
+    def context_for(self, rel: str) -> "FileContext | None":
+        for ctx in self.files:
+            if ctx.rel == rel:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``description``, register."""
+
+    id: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def finding(self, ctx_or_rel, line: int, message: str,
+                severity: "str | None" = None) -> Finding:
+        rel = ctx_or_rel.rel if isinstance(ctx_or_rel, FileContext) \
+            else str(ctx_or_rel)
+        return Finding(self.id, rel, line, message,
+                       severity or self.severity)
+
+    def check_file(self, ctx: FileContext, project: Project):
+        return ()
+
+    def check_project(self, project: Project):
+        return ()
+
+
+_REGISTRY: "dict[str, Rule]" = {}
+
+
+def register(rule_cls: "type[Rule]") -> "type[Rule]":
+    """Class decorator adding a rule instance to the registry."""
+    rule = rule_cls()
+    if not rule.id or rule.id == META_RULE:
+        raise ValueError(f"rule {rule_cls.__name__} needs a usable id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> "dict[str, Rule]":
+    return dict(_REGISTRY)
+
+
+@dataclass
+class RunResult:
+    """Everything one lint run produced."""
+
+    findings: "list[Finding]"
+    files_scanned: int
+    paths: "list[str]"
+
+    @property
+    def errors(self) -> "list[Finding]":
+        return [f for f in self.findings
+                if f.severity == "error" and not f.waived]
+
+    @property
+    def warnings(self) -> "list[Finding]":
+        return [f for f in self.findings
+                if f.severity == "warning" and not f.waived]
+
+    @property
+    def waived(self) -> "list[Finding]":
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def run(paths, rule_ids: "list[str] | None" = None) -> RunResult:
+    """Lint ``paths`` with the registered rules (or a subset by id)."""
+    project = Project([Path(p) for p in paths])
+    if rule_ids is not None:
+        unknown = set(rule_ids) - set(_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {sorted(unknown)}")
+    rules = [rule for rid, rule in sorted(_REGISTRY.items())
+             if rule_ids is None or rid in rule_ids]
+
+    findings: list[Finding] = list(project.broken)
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+        for ctx in project.files:
+            findings.extend(rule.check_file(ctx, project))
+
+    # Waivers: a finding is suppressed only by a waiver naming its rule
+    # on its line (matching marks the waiver used either way, so an
+    # empty-reason waiver is flagged as such, not as "unused").
+    for f in findings:
+        ctx = project.context_for(f.path)
+        if ctx is None:
+            continue
+        w = ctx.waiver_for(f.rule, f.line)
+        if w is not None and w.reason:
+            f.waived = True
+            f.waiver_reason = w.reason
+
+    # Waiver hygiene: mandatory reasons, known rules, no stale waivers.
+    for ctx in project.files:
+        for w in ctx.waivers:
+            if w.rule not in _REGISTRY:
+                findings.append(Finding(
+                    META_RULE, ctx.rel, w.comment_line,
+                    f"waiver names unknown rule {w.rule!r}", "error"))
+            elif not w.reason:
+                findings.append(Finding(
+                    META_RULE, ctx.rel, w.comment_line,
+                    f"waiver for {w.rule!r} must give a reason: "
+                    f"# reprolint: {w.rule}(why this is acceptable)",
+                    "error"))
+            elif not w.used:
+                findings.append(Finding(
+                    META_RULE, ctx.rel, w.comment_line,
+                    f"unused waiver for rule {w.rule!r} "
+                    f"(no matching finding on line {w.covers})",
+                    "warning"))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return RunResult(findings, len(project.files),
+                     [str(p) for p in paths])

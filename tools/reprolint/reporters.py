@@ -1,0 +1,45 @@
+"""Human and JSON renderings of a :class:`reprolint.core.RunResult`."""
+
+from __future__ import annotations
+
+import json
+
+from .core import RunResult
+
+TOOL = "reprolint"
+VERSION = "1.0"
+
+
+def render_human(result: RunResult, verbose: bool = False) -> str:
+    """A compiler-style report: ``path:line: severity: [rule] message``."""
+    out = []
+    for f in result.findings:
+        if f.waived:
+            if verbose:
+                out.append(f"{f.location}: waived: [{f.rule}] "
+                           f"{f.message} (waiver: {f.waiver_reason})")
+            continue
+        out.append(f"{f.location}: {f.severity}: [{f.rule}] {f.message}")
+    n_err, n_warn = len(result.errors), len(result.warnings)
+    out.append(
+        f"{TOOL}: {result.files_scanned} file(s) scanned, "
+        f"{n_err} error(s), {n_warn} warning(s), "
+        f"{len(result.waived)} waived")
+    return "\n".join(out)
+
+
+def render_json(result: RunResult) -> str:
+    payload = {
+        "tool": TOOL,
+        "version": VERSION,
+        "paths": result.paths,
+        "files_scanned": result.files_scanned,
+        "findings": [f.as_dict() for f in result.findings],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "waived": len(result.waived),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True, default=repr)

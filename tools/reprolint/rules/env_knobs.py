@@ -1,0 +1,65 @@
+"""R4 ``env-knob``: all ``REPRO_*`` environment reads go through the
+declaration table in ``repro._knobs``.
+
+Scattered ``os.environ.get("REPRO_X", ...)`` calls each invent their own
+parsing and their own garbage-handling, drift out of the README table,
+and are invisible to ``tools/gen_knob_docs.py``.  The registry gives one
+parse/validate path (garbage degrades to the documented default) and one
+source of truth for docs, so any raw read of a ``REPRO_``-prefixed
+variable outside ``_knobs.py`` is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+PREFIX = "REPRO_"
+KNOBS_FILENAME = "_knobs.py"
+_READ_ATTRS = ("get", "getenv", "pop", "setdefault")
+
+
+def _repro_const(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and \
+        isinstance(node.value, str) and node.value.startswith(PREFIX)
+
+
+@register
+class EnvKnobRegistry(Rule):
+    id = "env-knob"
+    description = (
+        "REPRO_* environment variables are read only through the "
+        "repro._knobs registry")
+
+    def check_file(self, ctx, project):
+        if ctx.name == KNOBS_FILENAME:
+            return ()  # the registry itself is the one allowed reader
+        findings = []
+
+        def flag(node, how):
+            findings.append(self.finding(
+                ctx, node.lineno,
+                f"raw {how} of a {PREFIX}* variable; declare the knob in "
+                f"repro._knobs and read it with knob(name) so parsing, "
+                f"defaults, and docs stay in one place"))
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and \
+                        func.attr in _READ_ATTRS and node.args and \
+                        _repro_const(node.args[0]):
+                    flag(node, f"environ.{func.attr}() read")
+                elif isinstance(func, ast.Name) and \
+                        func.id == "getenv" and node.args and \
+                        _repro_const(node.args[0]):
+                    flag(node, "getenv() read")
+            elif isinstance(node, ast.Subscript) and \
+                    _repro_const(node.slice):
+                flag(node, "subscript read")
+            elif isinstance(node, ast.Compare):
+                if any(isinstance(op, (ast.In, ast.NotIn))
+                       for op in node.ops) and _repro_const(node.left):
+                    flag(node, "membership test")
+        return findings

@@ -1,0 +1,166 @@
+"""R5 ``nan-policy``: no silent masking of sign or NaN bugs.
+
+Two patterns this codebase has been bitten by conceptually (and the
+paper's band-traversal arithmetic invites):
+
+* ``abs(t_end - t_begin)`` around an interval or traversal width: the
+  quantity is non-negative *by construction*; wrapping it in ``abs``
+  hides the inverted-interval bug the subtraction would otherwise
+  surface as a negative width.  Flagged when both operands of the
+  subtraction look like interval endpoints (``begin``/``end``,
+  ``start``/``stop``, ``first``/``last``, ``entry``/``exit``,
+  ``cross``...).
+* ``if isnan(x): x = 0.0`` — patching a NaN with a numeric constant and
+  carrying on.  A NaN in a slew or crossing time means an upstream
+  failure (no crossing found, degenerate edge); defaulting it silently
+  turns wrong answers into plausible ones.
+
+Both have legitimate uses; the escape hatches are (a) an inline waiver
+with a reason, or (b) putting the logic in a function whose name or
+parameters contain ``fallback`` or ``policy``, which declares the
+defaulting behaviour as part of the API (e.g. ``_slew_or_fallback``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+#: Identifier fragments that mark a value as an interval endpoint.
+ENDPOINT_TOKENS = ("begin", "end", "entry", "exit", "start", "stop",
+                   "first", "last", "cross")
+ABS_CALLS = frozenset({"abs", "fabs"})
+POLICY_TOKENS = ("fallback", "policy")
+
+
+def _text(node: ast.AST) -> str:
+    """A best-effort identifier string for matching endpoint tokens."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _text(node.value)
+    if isinstance(node, ast.Call):
+        return _text(node.func)
+    if isinstance(node, ast.UnaryOp):
+        return _text(node.operand)
+    return ""
+
+
+def _endpointish(node: ast.AST) -> bool:
+    text = _text(node).lower()
+    return any(tok in text for tok in ENDPOINT_TOKENS)
+
+
+def _is_abs_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in ABS_CALLS
+    if isinstance(func, ast.Attribute):
+        return func.attr in ABS_CALLS
+    return False
+
+
+def _isnan_arg(node: ast.AST):
+    """The ``x`` of an ``isnan(x)`` call (optionally under ``not``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        return None  # `not isnan(x)` guards the healthy branch
+    if isinstance(node, ast.Call) and len(node.args) == 1:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else ""
+        if name == "isnan":
+            return node.args[0]
+    return None
+
+
+def _numeric_const(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and \
+            isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and \
+        isinstance(node.value, (int, float)) and \
+        not isinstance(node.value, bool)
+
+
+def _declares_policy(fn: ast.FunctionDef) -> bool:
+    names = [fn.name] + [a.arg for a in fn.args.posonlyargs +
+                         fn.args.args + fn.args.kwonlyargs]
+    return any(tok in name.lower() for name in names
+               for tok in POLICY_TOKENS)
+
+
+@register
+class NanMasking(Rule):
+    id = "nan-policy"
+    description = (
+        "no abs() around interval/traversal widths and no silent "
+        "isnan-then-default patching outside declared fallback policies")
+
+    def check_file(self, ctx, project):
+        findings = []
+        # Functions that declare a fallback policy in their signature are
+        # exempt wholesale; collect their line spans.
+        exempt = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and \
+                    _declares_policy(node):
+                exempt.append((node.lineno, node.end_lineno or node.lineno))
+
+        def exempted(node) -> bool:
+            lineno = getattr(node, "lineno", None)
+            if lineno is None:
+                return False
+            return any(lo <= lineno <= hi for lo, hi in exempt)
+
+        for node in ast.walk(ctx.tree):
+            if exempted(node):
+                continue
+            if isinstance(node, ast.Call) and _is_abs_call(node) and \
+                    len(node.args) == 1 and \
+                    isinstance(node.args[0], ast.BinOp) and \
+                    isinstance(node.args[0].op, ast.Sub):
+                sub = node.args[0]
+                if _endpointish(sub.left) and _endpointish(sub.right):
+                    findings.append(self.finding(
+                        ctx, node.lineno,
+                        "abs() around an interval width masks "
+                        "inverted-endpoint bugs; the traversal/slew "
+                        "width is non-negative by construction — drop "
+                        "the abs or assert the ordering"))
+            elif isinstance(node, ast.If):
+                arg = _isnan_arg(node.test)
+                if arg is None:
+                    continue
+                target_text = _text(arg)
+                for stmt in node.body:
+                    if isinstance(stmt, ast.Assign) and \
+                            _numeric_const(stmt.value) and any(
+                                _text(t) == target_text
+                                for t in stmt.targets):
+                        findings.append(self.finding(
+                            ctx, stmt.lineno,
+                            "isnan-then-default patches a NaN with a "
+                            "constant; a NaN here means an upstream "
+                            "failure — propagate it, raise, or move "
+                            "this into a *_fallback policy function"))
+                    elif isinstance(stmt, ast.Return) and \
+                            stmt.value is not None and \
+                            _numeric_const(stmt.value):
+                        findings.append(self.finding(
+                            ctx, stmt.lineno,
+                            "isnan guard returns a numeric constant; "
+                            "a NaN here means an upstream failure — "
+                            "propagate it, raise, or move this into a "
+                            "*_fallback policy function"))
+            elif isinstance(node, ast.IfExp):
+                arg = _isnan_arg(node.test)
+                if arg is not None and _numeric_const(node.body):
+                    findings.append(self.finding(
+                        ctx, node.lineno,
+                        "conditional expression defaults a NaN to a "
+                        "constant; propagate the NaN, raise, or move "
+                        "this into a *_fallback policy function"))
+        return findings

@@ -1,0 +1,222 @@
+"""R2 ``njit-subset``: kernels in ``kernels/_loops.py`` stay compilable.
+
+``make_kernels(decorate)`` builds every hot-loop kernel twice from the
+same code objects: once plain-Python (always importable, used by the
+tests) and once through ``numba.njit``.  That only works while every
+kernel body stays inside numba's nopython subset — and the failure mode
+is nasty: a stray f-string or try/except typechecks, imports, and passes
+the plain-path tests, then either throws a ``TypingError`` at first
+compiled call or silently falls back to a slow path, on numba-equipped
+hosts only.
+
+This rule pins the subset statically.  Inside each function defined
+directly in ``make_kernels`` it rejects constructs numba's nopython
+mode does not support (try/except, with, f-strings, dict/set
+comprehensions, lambdas, nested defs, yield, ``*args``/``**kwargs``,
+``%``-formatting of strings, ``str.format``), and it checks name scope:
+a kernel may touch its own locals, sibling kernels, module-level names
+(``math``, ``np``, ``SMOOTH_EPS`` …) and a small builtin whitelist —
+but *not* locals of the ``make_kernels`` factory (such as ``decorate``),
+which would compile as object-mode closures.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from ..core import Rule, register
+
+LOOPS_SUFFIX = "kernels/_loops.py"
+FACTORY = "make_kernels"
+
+#: Builtins numba's nopython mode supports and the kernels may call.
+CALLABLE_BUILTINS = frozenset({
+    "range", "len", "abs", "min", "max", "int", "float", "bool", "round",
+    "enumerate", "zip",
+})
+#: Module roots whose attributes kernels may call (numba overloads them).
+CALLABLE_MODULES = frozenset({"math", "np", "numpy"})
+
+_BANNED_NODES = (
+    (ast.Try, "try/except is not supported in nopython mode"),
+    (ast.With, "with-blocks are not supported in nopython mode"),
+    (ast.JoinedStr, "f-strings are not supported in nopython mode"),
+    (ast.DictComp, "dict comprehensions are not supported in nopython "
+                   "mode"),
+    (ast.SetComp, "set comprehensions are not supported in nopython "
+                  "mode"),
+    (ast.Lambda, "lambdas are not supported in nopython mode"),
+    (ast.Global, "global statements are not supported in nopython mode"),
+    (ast.Nonlocal, "nonlocal statements are not supported in nopython "
+                   "mode"),
+    (ast.Yield, "generators are not supported in nopython mode"),
+    (ast.YieldFrom, "generators are not supported in nopython mode"),
+    (ast.ClassDef, "class definitions are not supported in nopython "
+                   "mode"),
+)
+
+
+def _module_names(tree: ast.Module) -> set:
+    names = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            names.add(node.name)
+    return names
+
+
+def _arg_names(args: ast.arguments) -> set:
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _bound_names(node: ast.AST) -> set:
+    """Names bound anywhere under ``node`` (assignments, loops, withs)."""
+    bound = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and \
+                isinstance(sub.ctx, (ast.Store, ast.Del)):
+            bound.add(sub.id)
+        elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            bound.add(sub.name)
+    return bound
+
+
+def _call_root(func: ast.AST):
+    """The base ``Name`` of a (possibly dotted) call target, or None."""
+    while isinstance(func, ast.Attribute):
+        func = func.value
+    return func if isinstance(func, ast.Name) else None
+
+
+@register
+class NjitSubset(Rule):
+    id = "njit-subset"
+    description = (
+        "functions built by make_kernels in kernels/_loops.py use only "
+        "numba-nopython constructs and never close over factory locals")
+
+    def check_file(self, ctx, project):
+        if not ctx.path.as_posix().endswith(LOOPS_SUFFIX):
+            return ()
+        factory = None
+        for node in ctx.tree.body:
+            if isinstance(node, ast.FunctionDef) and node.name == FACTORY:
+                factory = node
+                break
+        if factory is None:
+            return [self.finding(
+                ctx, 1, f"{FACTORY} factory not found; the njit-subset "
+                f"contract has nothing to check")]
+
+        kernels = [stmt for stmt in factory.body
+                   if isinstance(stmt, ast.FunctionDef)]
+        kernel_names = {k.name for k in kernels}
+        module_names = _module_names(ctx.tree)
+        builtin_names = set(dir(builtins))
+        # Factory locals a kernel must NOT touch: everything bound in
+        # make_kernels (params like `decorate`, loose assignments) that
+        # is not itself a kernel.
+        factory_locals = (_arg_names(factory.args) |
+                          _bound_names(factory)) - kernel_names
+        for k in kernels:
+            factory_locals -= _bound_names(k)
+        factory_locals -= module_names
+
+        findings = []
+        seen = set()
+
+        def flag(node, message):
+            key = (node.lineno, getattr(node, "col_offset", 0), message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(self.finding(ctx, node.lineno, message))
+
+        for kernel in kernels:
+            locals_ = _arg_names(kernel.args) | _bound_names(kernel)
+            if kernel.args.vararg or kernel.args.kwarg:
+                flag(kernel, f"kernel {kernel.name} takes "
+                     f"*args/**kwargs, which nopython mode rejects")
+            for stmt in kernel.body:  # decorators stay factory-side
+                for node in ast.walk(stmt):
+                    for banned, why in _BANNED_NODES:
+                        if isinstance(node, banned):
+                            flag(node, f"kernel {kernel.name}: {why}")
+                    if isinstance(node, ast.FunctionDef) and \
+                            node is not kernel:
+                        flag(node, f"kernel {kernel.name}: nested "
+                             f"function definitions compile as closures "
+                             f"and leave nopython mode")
+                    elif isinstance(node, ast.Call):
+                        if any(kw.arg is None for kw in node.keywords):
+                            flag(node, f"kernel {kernel.name}: **kwargs "
+                                 f"call expansion is not supported in "
+                                 f"nopython mode")
+                        if any(isinstance(a, ast.Starred)
+                               for a in node.args):
+                            flag(node, f"kernel {kernel.name}: *args "
+                                 f"call expansion is not supported in "
+                                 f"nopython mode")
+                        root = _call_root(node.func)
+                        if isinstance(node.func, ast.Attribute):
+                            if node.func.attr == "format":
+                                flag(node, f"kernel {kernel.name}: "
+                                     f"str.format is not supported in "
+                                     f"nopython mode")
+                            elif root is not None and \
+                                    root.id not in CALLABLE_MODULES and \
+                                    root.id not in locals_ and \
+                                    root.id not in kernel_names:
+                                flag(node, f"kernel {kernel.name}: call "
+                                     f"through {root.id!r} is outside "
+                                     f"the compiled namespace "
+                                     f"(math/np/locals)")
+                        elif isinstance(node.func, ast.Name):
+                            fn = node.func.id
+                            if fn not in kernel_names and \
+                                    fn not in locals_ and \
+                                    fn not in CALLABLE_BUILTINS:
+                                flag(node, f"kernel {kernel.name}: call "
+                                     f"to {fn!r}, which is neither a "
+                                     f"sibling kernel, a local, nor a "
+                                     f"whitelisted builtin")
+                    elif isinstance(node, ast.BinOp) and \
+                            isinstance(node.op, ast.Mod) and \
+                            isinstance(node.left, ast.Constant) and \
+                            isinstance(node.left.value, str):
+                        flag(node, f"kernel {kernel.name}: %-formatting "
+                             f"of strings is not supported in nopython "
+                             f"mode")
+                    elif isinstance(node, ast.Name) and \
+                            isinstance(node.ctx, ast.Load):
+                        name = node.id
+                        if name in locals_ or name in kernel_names or \
+                                name in module_names or \
+                                name in builtin_names:
+                            continue
+                        if name in factory_locals:
+                            flag(node, f"kernel {kernel.name} closes "
+                                 f"over factory local {name!r}; closures "
+                                 f"over {FACTORY} state leave nopython "
+                                 f"mode")
+                        else:
+                            flag(node, f"kernel {kernel.name} reads "
+                                 f"unknown name {name!r}, which nopython "
+                                 f"mode cannot resolve")
+        return findings

@@ -1,0 +1,202 @@
+"""R1 ``store-key``: store-key completeness for ``TransientOptions``.
+
+The contract (PR 3/5/6): every result-affecting ``TransientOptions``
+field must enter the result-store key, and the array-kernel choice must
+*never* enter it.  The runtime mirror lives in
+``repro.exec.store._options_items``; this rule proves the same facts
+statically by cross-checking the two declaration sites:
+
+* ``circuit/transient.py`` — the dataclass fields of
+  ``TransientOptions`` (the ground truth of what exists);
+* ``exec/store.py`` — the ``KEYED_FIELDS`` / ``NO_KEY`` literals (the
+  declaration of what is keyed), ``_options_items`` (which must filter
+  through ``KEYED_FIELDS``), and the ``job_key``/``dc_key`` hash
+  builders (which must route options through ``_options_items`` and
+  must not mention ``kernel`` at all).
+
+A field in neither set means adding an option silently aliases cached
+waveforms; ``kernel`` in the keyed set means a warmed store fragments
+per execution backend.  Both fail CI here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+TRANSIENT_SUFFIX = "circuit/transient.py"
+STORE_SUFFIX = "exec/store.py"
+OPTIONS_CLASS = "TransientOptions"
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str):
+    """``{field name: lineno}`` of a module-level (data)class, or None."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = {}
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and \
+                        isinstance(stmt.target, ast.Name):
+                    ann = ast.dump(stmt.annotation)
+                    if "ClassVar" in ann:
+                        continue
+                    fields[stmt.target.id] = stmt.lineno
+            return fields
+    return None
+
+
+def _set_literal(tree: ast.Module, name: str):
+    """``(names, lineno)`` of a module-level set/frozenset of string
+    literals, or ``None`` when absent, or ``("non-literal", lineno)``
+    when present but not statically readable."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                node.targets[0].id == name:
+            value = node.value
+            if isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Name) and \
+                    value.func.id in ("frozenset", "set") and \
+                    not value.keywords and len(value.args) <= 1:
+                if not value.args:  # frozenset() — the empty set
+                    return (set(), node.lineno)
+                value = value.args[0]
+            if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+                names = set()
+                for elt in value.elts:
+                    if isinstance(elt, ast.Constant) and \
+                            isinstance(elt.value, str):
+                        names.add(elt.value)
+                    else:
+                        return ("non-literal", node.lineno)
+                return (names, node.lineno)
+            return ("non-literal", node.lineno)
+    return None
+
+
+def _function(tree: ast.Module, name: str):
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _mentions(node: ast.AST, word: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == word:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == word:
+            return True
+        if isinstance(sub, ast.Constant) and sub.value == word:
+            return True
+    return False
+
+
+def _calls(node: ast.AST, name: str) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and \
+                isinstance(sub.func, ast.Name) and sub.func.id == name:
+            return True
+    return False
+
+
+@register
+class StoreKeyCompleteness(Rule):
+    id = "store-key"
+    description = (
+        "every TransientOptions field is declared KEYED_FIELDS or NO_KEY, "
+        "KEYED_FIELDS stays a field subset, and 'kernel' never enters "
+        "job_key/dc_key")
+
+    def check_project(self, project):
+        t_ctx = project.find(TRANSIENT_SUFFIX)
+        s_ctx = project.find(STORE_SUFFIX)
+        if t_ctx is None or s_ctx is None:
+            return []  # the contract's files are not part of this scan
+        findings = []
+
+        fields = _dataclass_fields(t_ctx.tree, OPTIONS_CLASS)
+        if fields is None:
+            findings.append(self.finding(
+                t_ctx, 1, f"{OPTIONS_CLASS} class not found; the "
+                f"store-key contract has nothing to check against"))
+            return findings
+
+        keyed = _set_literal(s_ctx.tree, "KEYED_FIELDS")
+        nokey = _set_literal(s_ctx.tree, "NO_KEY")
+        for label, got in (("KEYED_FIELDS", keyed), ("NO_KEY", nokey)):
+            if got is None:
+                findings.append(self.finding(
+                    s_ctx, 1, f"store module must declare {label} as a "
+                    f"module-level frozenset of field-name literals"))
+            elif got[0] == "non-literal":
+                findings.append(self.finding(
+                    s_ctx, got[1], f"{label} must contain only string "
+                    f"literals so the declaration is statically checkable"))
+        if findings:
+            return findings
+        keyed_names, keyed_line = keyed
+        nokey_names, nokey_line = nokey
+
+        for name in sorted(set(fields) - keyed_names - nokey_names):
+            findings.append(self.finding(
+                t_ctx, fields[name],
+                f"{OPTIONS_CLASS}.{name} is declared in neither "
+                f"KEYED_FIELDS nor NO_KEY — an unkeyed option aliases "
+                f"cached waveforms; register it in exec/store.py (and bump "
+                f"STORE_VERSION if it affects results)"))
+        for name in sorted(keyed_names & nokey_names):
+            findings.append(self.finding(
+                s_ctx, nokey_line,
+                f"{name!r} appears in both KEYED_FIELDS and NO_KEY"))
+        for name in sorted(keyed_names - set(fields)):
+            findings.append(self.finding(
+                s_ctx, keyed_line,
+                f"KEYED_FIELDS names {name!r}, which is not a "
+                f"{OPTIONS_CLASS} field; remove the stale declaration"))
+        if "kernel" in keyed_names:
+            findings.append(self.finding(
+                s_ctx, keyed_line,
+                "'kernel' must never enter store keys (the array-kernel "
+                "backend changes execution speed only); move it to NO_KEY"))
+        if "kernel" not in nokey_names:
+            findings.append(self.finding(
+                s_ctx, nokey_line,
+                "NO_KEY must blocklist 'kernel' so the array-kernel "
+                "choice can never enter store keys"))
+
+        items_fn = _function(s_ctx.tree, "_options_items")
+        if items_fn is None:
+            findings.append(self.finding(
+                s_ctx, 1, "_options_items not found; options cannot be "
+                "proven to key through KEYED_FIELDS"))
+        elif not _mentions(items_fn, "KEYED_FIELDS"):
+            findings.append(self.finding(
+                s_ctx, items_fn.lineno,
+                "_options_items does not filter through KEYED_FIELDS; "
+                "the declaration and the key can drift apart"))
+
+        job_fn = _function(s_ctx.tree, "job_key")
+        if job_fn is None:
+            findings.append(self.finding(
+                s_ctx, 1, "job_key not found; transient store keys "
+                "cannot be checked"))
+        else:
+            if not _calls(job_fn, "_options_items"):
+                findings.append(self.finding(
+                    s_ctx, job_fn.lineno,
+                    "job_key must hash options through _options_items so "
+                    "the KEYED_FIELDS declaration governs the key"))
+            if _mentions(job_fn, "kernel"):
+                findings.append(self.finding(
+                    s_ctx, job_fn.lineno,
+                    "job_key mentions 'kernel'; the array-kernel choice "
+                    "must never enter store keys"))
+        dc_fn = _function(s_ctx.tree, "dc_key")
+        if dc_fn is not None and _mentions(dc_fn, "kernel"):
+            findings.append(self.finding(
+                s_ctx, dc_fn.lineno,
+                "dc_key mentions 'kernel'; the array-kernel choice must "
+                "never enter store keys"))
+        return findings
