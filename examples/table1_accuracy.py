@@ -15,6 +15,12 @@ The second invocation answers from the content-keyed result store —
 zero transient solves — and prints the store's hit statistics.  The
 ``REPRO_WORKERS`` / ``REPRO_STORE`` environment variables set the same
 knobs without flags.
+
+Against a running daemon (``python -m repro.service``), route the
+whole sweep through the service instead of solving in-process — its
+warm analysis caches and store answer repeat sweeps without paying
+process start-up, and rows stream as each configuration completes:
+    python examples/table1_accuracy.py --cases 10 --service 127.0.0.1:8472
 """
 
 from __future__ import annotations
@@ -27,6 +33,35 @@ from repro.exec import (ExecutionConfig, ResultStore, default_execution,
 from repro.experiments.noise_injection import SweepTiming
 from repro.experiments.setup import CONFIG_I, CONFIG_II
 from repro.experiments.table1 import run_table1_many
+
+
+def run_via_service(address: str, args, config_names: list[str]) -> None:
+    """Submit the sweep to a daemon and print its streamed rows."""
+    from repro.service import ServiceClient
+
+    host, _, port = address.rpartition(":")
+    job = {"kind": "table1", "config": config_names, "n_cases": args.cases,
+           "polarity": args.polarity, "dt": args.dt}
+
+    start = time.time()
+    with ServiceClient(host or None, int(port), client="table1-example",
+                       timeout=3600.0) as svc:
+        def on_event(message: dict) -> None:
+            if message.get("event") == "row":
+                d = message["delay"]
+                print(f"  {message['config']}/{message['technique']:7s} "
+                      f"max {d['max_abs'] * 1e12:6.1f} ps  "
+                      f"avg {d['mean_abs'] * 1e12:6.1f} ps  "
+                      f"bias {d['mean_signed'] * 1e12:+6.1f} ps  "
+                      f"fail {d['failures']}")
+            elif message.get("event") == "progress":
+                print(f"configuration {message['config']} "
+                      f"({message['index'] + 1}/{message['total']})…")
+
+        result = svc.submit_with_retry(job, on_event=on_event)
+    elapsed = time.time() - start
+    n_rows = sum(len(t["rows"]) for t in result["tables"])
+    print(f"\n(elapsed {elapsed:.1f} s over the wire, {n_rows} rows)")
 
 
 def main() -> None:
@@ -45,7 +80,17 @@ def main() -> None:
                         help="directory of the on-disk result store; rerun "
                              "with the same arguments for a warm, near-free "
                              "regeneration (default: REPRO_STORE or off)")
+    parser.add_argument("--service", type=str, default=None, metavar="HOST:PORT",
+                        help="submit the sweep to a running "
+                             "`python -m repro.service` daemon instead of "
+                             "solving in-process (streams rows as each "
+                             "configuration completes)")
     args = parser.parse_args()
+
+    config_names = {"I": ["I"], "II": ["II"], "both": ["I", "II"]}[args.config]
+    if args.service is not None:
+        run_via_service(args.service, args, config_names)
+        return
 
     env = default_execution()
     execution = ExecutionConfig(

@@ -79,6 +79,15 @@ def _flag(raw: str) -> bool:
     return raw.strip().lower() in ("1", "true", "yes", "on")
 
 
+def _float_at_least(lo: float) -> Callable[[str], float]:
+    def parse(raw: str) -> float:
+        value = float(raw)
+        if value < lo:
+            raise ValueError(f"must be >= {lo}, got {value}")
+        return value
+    return parse
+
+
 def _choice(*names: str) -> Callable[[str], str]:
     def parse(raw: str) -> str:
         value = raw.strip()
@@ -112,6 +121,22 @@ KNOBS: dict[str, Knob] = {k.name: k for k in (
     Knob("REPRO_PHASE_TIMERS", _flag, False,
          "per-phase wall-clock breakdown in `stats[\"phase_seconds\"]`",
          "unset (off)"),
+    Knob("REPRO_SHARD_TIMEOUT", _float_at_least(0.0), 0.0,
+         "per-shard worker deadline in seconds, scaled by the shard's "
+         "estimated cost; a shard past its deadline is abandoned and "
+         "re-solved inline (`0` = wait forever)",
+         "`0` (off)"),
+    Knob("REPRO_SERVICE_HOST", _string, "127.0.0.1",
+         "interface `python -m repro.service` binds", "`127.0.0.1`"),
+    Knob("REPRO_SERVICE_PORT", _int_at_least(0), 8472,
+         "TCP port of the service (`0` = ephemeral, printed at startup)",
+         "`8472`"),
+    Knob("REPRO_SERVICE_QUEUE_DEPTH", _int_at_least(1), 64,
+         "admission control: queued+running jobs beyond this are "
+         "rejected with a retry-after hint", "`64`"),
+    Knob("REPRO_SERVICE_QUOTA", _int_at_least(1), 16,
+         "admission control: per-client cap on queued+running jobs",
+         "`16`"),
 )}
 
 

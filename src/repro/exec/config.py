@@ -18,6 +18,9 @@ in :mod:`repro._knobs`):
 ``REPRO_KERNEL``
     Array-kernel backend for the hot loops (``auto``/``numpy``/
     ``numba``; read by :func:`repro.circuit.kernels.resolve_kernel`).
+``REPRO_SHARD_TIMEOUT``
+    Per-shard worker deadline in seconds (0 disables it); see
+    :attr:`ExecutionConfig.shard_timeout`.
 
 Tests and programs that need a different default (e.g. a temporary
 store) install one with :func:`set_default_execution` instead of
@@ -105,12 +108,23 @@ class ExecutionConfig:
         is the default (see :func:`_install_kernel`); pool workers
         inherit it through their environment.  Performance-only: never
         part of result-store keys.
+    shard_timeout:
+        Deadline, in seconds, for an *average-cost* shard's worker
+        future; each shard's own deadline scales with its estimated
+        cost (:func:`repro.exec.pool.job_cost`).  A worker past its
+        deadline — wedged, not crashed: a deadlock or an NFS stall
+        never raises — is abandoned and its shard re-solved inline, so
+        one stuck process can no longer hang the whole run.  ``0.0``
+        (default) waits forever, the historical behaviour.  Results
+        are unaffected either way: the inline re-solve is the same
+        deterministic serial path the crash fallback uses.
     """
 
     workers: int = 1
     store: ResultStore | None = None
     min_pool_jobs: int = 4
     kernel: str = "auto"
+    shard_timeout: float = 0.0
 
     def __post_init__(self) -> None:
         require(self.workers >= 1, "workers must be at least 1")
@@ -118,6 +132,8 @@ class ExecutionConfig:
         require(self.kernel in _kernels.KERNEL_NAMES,
                 f"unknown kernel backend {self.kernel!r}; pick from "
                 f"{_kernels.KERNEL_NAMES}")
+        require(self.shard_timeout >= 0.0,
+                "shard_timeout must be >= 0 (0 disables the deadline)")
 
     @classmethod
     def from_env(cls, env: "os._Environ | dict" = os.environ) -> "ExecutionConfig":
@@ -133,7 +149,8 @@ class ExecutionConfig:
         if root:
             store = ResultStore(root, max_bytes=store_max_bytes(env))
         return cls(workers=knob("REPRO_WORKERS", env), store=store,
-                   kernel=knob("REPRO_KERNEL", env))
+                   kernel=knob("REPRO_KERNEL", env),
+                   shard_timeout=knob("REPRO_SHARD_TIMEOUT", env))
 
 
 _DEFAULT: ExecutionConfig | None = None

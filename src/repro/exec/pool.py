@@ -31,6 +31,16 @@ bit.  ``workers=1``, tiny job lists, pool creation failure, and
 *per-shard worker crashes* all fall back to the deterministic
 in-process path — a crash costs time, never results.
 
+Workers can also *wedge* rather than crash — a deadlock, a stalled NFS
+mount — and a wedged worker raises nothing, ever.  When the
+:class:`~repro.exec.ExecutionConfig` carries a ``shard_timeout``
+(``REPRO_SHARD_TIMEOUT``), every shard future gets a deadline scaled by
+the shard's estimated cost (:func:`job_cost`); a future past its
+deadline is abandoned (its worker process terminated so pool teardown
+cannot hang either) and the shard re-solves inline exactly like the
+crash path, counted in both ``fallback_shards`` and the dedicated
+``timeout_shards`` diagnostic.
+
 Workers receive their shard by pickling the jobs (circuits, sources and
 options are plain data) and return ``(times, solutions, stats)`` arrays;
 the parent rebuilds :class:`~repro.circuit.transient.TransientResult`
@@ -42,8 +52,10 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import sys
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 
 import numpy as np
 
@@ -118,7 +130,7 @@ def _accumulate_fleet(solved: "list[TransientResult | None]",
     """
     _FLEET["runs"] = _FLEET.get("runs", 0) + 1
     for key in ("jobs", "store_hits", "store_misses", "shards",
-                "fallback_shards"):
+                "fallback_shards", "timeout_shards"):
         _FLEET[key] = _FLEET.get(key, 0) + info.get(key, 0)
     for res in solved:
         if res is None:
@@ -247,13 +259,16 @@ def run_jobs(
     diag:
         Optional dict filled with run diagnostics: ``mode``
         (``"serial"``/``"sharded"``), ``jobs``, ``store_hits``,
-        ``store_misses``, ``shards`` and ``fallback_shards`` (shards
-        whose worker failed and were re-run in-process).
+        ``store_misses``, ``shards``, ``fallback_shards`` (shards whose
+        worker failed — or timed out — and were re-run in-process) and
+        ``timeout_shards`` (the subset of those abandoned at their
+        ``shard_timeout`` deadline).
     """
     jobs = list(jobs)
     cfg = execution if execution is not None else default_execution()
     info = {"mode": "serial", "jobs": len(jobs), "store_hits": 0,
-            "store_misses": 0, "shards": 0, "fallback_shards": 0}
+            "store_misses": 0, "shards": 0, "fallback_shards": 0,
+            "timeout_shards": 0}
     if diag is not None:
         diag.update(info)
     if not jobs:
@@ -282,7 +297,7 @@ def run_jobs(
         pending.append(k)
     if store is not None and pending:
         pending = _coherent_adaptive_pending(jobs, mnas, results, pending,
-                                             store)
+                                             keys, store)
     if store is not None:
         info["store_hits"] = len(jobs) - len(pending)
         info["store_misses"] = len(pending)
@@ -294,7 +309,8 @@ def run_jobs(
             for k, res in zip(pending, solved):
                 results[k] = res
         else:
-            _run_sharded(pending, jobs, mnas, results, workers, info)
+            _run_sharded(pending, jobs, mnas, results, workers, info,
+                         shard_timeout=cfg.shard_timeout)
 
     if store is not None:
         for k in pending:
@@ -317,6 +333,7 @@ def _coherent_adaptive_pending(
     mnas: list[MnaSystem],
     results: "list[TransientResult | None]",
     pending: list[int],
+    keys: "list[str | None]",
     store,
 ) -> list[int]:
     """Discard store hits of partially-warm *adaptive* groups.
@@ -345,8 +362,50 @@ def _coherent_adaptive_pending(
                 if k not in pending_set:
                     results[k] = None
                     pending_set.add(k)
-                    store.discard_hit()
+                    store.discard_hit(keys[k])
     return sorted(pending_set)
+
+
+def _shard_deadlines(shards: list[list[int]], jobs: Sequence[TransientJob],
+                     mnas: Sequence[MnaSystem],
+                     shard_timeout: float) -> "list[float | None]":
+    """Per-shard deadline budgets in seconds (``None`` = wait forever).
+
+    ``shard_timeout`` is the budget of an *average-cost* shard of this
+    run; each shard's own budget scales with its estimated cost
+    (:func:`job_cost`), never below the base — a shard three times the
+    mean gets three times as long before it is declared wedged, so one
+    knob serves heterogeneous Table-1 + interconnect mixes without
+    killing their slowest (largest), healthy shard.
+    """
+    if shard_timeout <= 0.0:
+        return [None] * len(shards)
+    shard_costs = [sum(job_cost(jobs[k], mnas[k]) for k in shard)
+                   for shard in shards]
+    mean_cost = sum(shard_costs) / max(1, len(shard_costs))
+    if mean_cost <= 0.0:
+        return [shard_timeout] * len(shards)
+    return [shard_timeout * max(1.0, cost / mean_cost)
+            for cost in shard_costs]
+
+
+def _abandon_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear down a pool that still holds wedged workers.
+
+    ``shutdown(wait=True)`` — and interpreter exit, which joins the
+    executor's management thread — would block on a wedged worker
+    forever, re-creating the very hang the shard deadline just broke.
+    Every healthy shard's payload has already been collected by the
+    time this runs, so terminating the remaining worker processes loses
+    nothing; the management thread then observes the broken pool and
+    exits on its own.
+    """
+    for proc in list((getattr(executor, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            pass  # already exited / already closed
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_sharded(
@@ -356,8 +415,16 @@ def _run_sharded(
     results: list[TransientResult | None],
     workers: int,
     info: dict,
+    shard_timeout: float = 0.0,
 ) -> None:
-    """Solve ``pending`` across a process pool, serial fallback on failure."""
+    """Solve ``pending`` across a process pool, serial fallback on failure.
+
+    With ``shard_timeout > 0`` every shard future gets a cost-scaled
+    deadline (:func:`_shard_deadlines`); a worker past its deadline is
+    abandoned and its shard re-solved inline, deterministically, exactly
+    like the crash path — counted in ``fallback_shards`` *and*
+    ``timeout_shards``.
+    """
     shards = make_shards(pending, jobs, mnas, workers)
     info.update({"mode": "sharded", "shards": len(shards)})
 
@@ -380,13 +447,34 @@ def _run_sharded(
             solve_inline(shard)
         return
 
-    with executor:
+    budgets = _shard_deadlines(shards, jobs, mnas, shard_timeout)
+    abandoned = False
+    try:
         futures = [(shard, executor.submit(_simulate_shard,
                                            [jobs[k] for k in shard]))
                    for shard in shards]
-        for shard, future in futures:
+        # All shards run concurrently (max_workers == len(shards)), so
+        # absolute deadlines are measured from one submission instant;
+        # waiting for them in submission order costs nothing.
+        t_submit = time.monotonic()
+        for (shard, future), budget in zip(futures, budgets):
             try:
-                payload = future.result()
+                if budget is None:
+                    payload = future.result()
+                else:
+                    remaining = t_submit + budget - time.monotonic()
+                    payload = future.result(timeout=max(0.0, remaining))
+            except _FutureTimeout:
+                # A *wedged* worker (deadlock, NFS stall) raises
+                # nothing, ever — without this deadline the whole run
+                # hangs even though crashes fall back cleanly.  Abandon
+                # the future and re-solve inline.
+                future.cancel()
+                abandoned = True
+                info["timeout_shards"] += 1
+                info["fallback_shards"] += 1
+                solve_inline(shard)
+                continue
             except Exception:
                 # A dead or failing worker (crash, OOM kill, pickling
                 # error) must not take the run down: re-solve its shard
@@ -396,3 +484,8 @@ def _run_sharded(
                 continue
             for k, (times, x, stats) in zip(shard, payload):
                 results[k] = TransientResult(mnas[k], times, x, stats=stats)
+    finally:
+        if abandoned:
+            _abandon_pool(executor)
+        else:
+            executor.shutdown(wait=True)

@@ -53,6 +53,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import re
 import struct
 from collections.abc import Mapping
 from pathlib import Path
@@ -121,6 +122,16 @@ _RESCAN_EVERY = 64
 #: exactly at the budget would leave the very next insert over it again,
 #: re-paying _evict's full directory scan on every store() once full.
 _EVICT_WATERMARK = 0.9
+
+#: Pre-hit recency stamps remembered for :meth:`ResultStore.discard_hit`
+#: (bounded: discards follow their lookup within one ``run_jobs`` call,
+#: so only the most recent hits ever need restoring).
+_RECENCY_REMEMBERED = 1024
+
+#: Namespaces are path components of entry filenames; constrain them so
+#: a tenant name can never escape the store root or collide with the
+#: ``<key>.npz`` entries of the default namespace.
+_NAMESPACE_OK = re.compile(r"[A-Za-z0-9._-]{1,64}")
 
 
 class UnkeyableJobError(TypeError):
@@ -288,6 +299,14 @@ class ResultStore:
         Size budget; inserts evict least-recently-used entries (by file
         mtime, refreshed on every hit) until the store fits.  The entry
         being inserted is never evicted by its own insert.
+    namespace:
+        Optional tenant prefix on every entry filename
+        (``<namespace>--<key>.npz``).  Namespaces sharing one ``root``
+        never alias each other's entries — the same job stored by two
+        tenants lives twice — while the size budget, rescans and LRU
+        eviction stay root-wide (one shared disk).  :meth:`clear`
+        deletes only this namespace's entries; :meth:`namespaced`
+        derives a tenant view from an existing store.
 
     Counters (``hits``/``misses``/``corrupt``/``evictions``/``stores``/
     ``uncacheable``) are per-instance and reset by :meth:`clear`;
@@ -295,10 +314,15 @@ class ResultStore:
     ones.
     """
 
-    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES,
+                 namespace: str = ""):
         require(max_bytes > 0, "store size budget must be positive")
+        require(namespace == "" or _NAMESPACE_OK.fullmatch(namespace) is not None,
+                f"invalid store namespace {namespace!r}: need 1-64 chars "
+                f"from [A-Za-z0-9._-]")
         self.root = Path(root)
         self.max_bytes = int(max_bytes)
+        self.namespace = namespace
         # Running on-disk byte total, seeded by one directory scan on
         # first need and maintained incrementally — inserts must not pay
         # an O(entries) rescan each (cold runs store thousands of
@@ -320,6 +344,25 @@ class ResultStore:
         self.dc_hits = 0
         self.dc_misses = 0
         self.dc_stores = 0
+        # Keys whose corrupt entry could not be unlinked (read-only
+        # store root): each is counted in ``corrupt`` exactly once —
+        # without the memo every lookup of such a key re-counted it
+        # *and* invalidated the incremental byte total, re-paying a
+        # full directory rescan per lookup.
+        self._undeletable: set[str] = set()
+        # key -> (atime, mtime) captured just before a hit's os.utime,
+        # so :meth:`discard_hit` can restore the entry's LRU recency.
+        self._pre_hit_times: dict[str, tuple[float, float]] = {}
+
+    def namespaced(self, namespace: str) -> "ResultStore":
+        """A tenant view of the same root: same size budget, prefixed keys.
+
+        Counters are per-view (fresh on the returned store), matching
+        the service's per-tenant accounting; the on-disk budget and LRU
+        eviction remain shared across all namespaces of the root.
+        """
+        return ResultStore(self.root, max_bytes=self.max_bytes,
+                           namespace=namespace)
 
     # -- keys ----------------------------------------------------------
     def key_for(self, job: TransientJob, mna: MnaSystem | None = None) -> str | None:
@@ -331,6 +374,8 @@ class ResultStore:
             return None
 
     def _path(self, key: str) -> Path:
+        if self.namespace:
+            return self.root / f"{self.namespace}--{key}.npz"
         return self.root / f"{key}.npz"
 
     # -- lookup / store ------------------------------------------------
@@ -341,28 +386,49 @@ class ResultStore:
 
         Returns the decoded value, or ``None`` when the entry is absent
         or corrupt — corrupt entries are counted, deleted and thereby
-        healed; present ones get their LRU recency refreshed.  Per-kind
-        hit/miss accounting stays with the callers.
+        healed; present ones get their LRU recency refreshed (the
+        pre-hit stamp is remembered so :meth:`discard_hit` can undo the
+        refresh).  An entry that cannot be deleted (read-only store
+        root) is counted as corrupt once, remembered, and read as a
+        plain miss from then on — no re-count, no byte-total rescan.
+        Per-kind hit/miss accounting stays with the callers.
         """
         path = self._path(key)
         if not path.is_file():
+            return None
+        if key in self._undeletable:
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
                 value = decode(data)
         except Exception:
             self.corrupt += 1
-            self._total_bytes = None  # entry removed outside _evict
             try:
                 path.unlink()
             except OSError:
-                pass
+                # Healing failed (read-only root, concurrent sweeper
+                # holding the file …): the entry stays on disk, so the
+                # byte total is still right — remember the key instead
+                # of re-paying the corrupt count and a directory rescan
+                # on every subsequent lookup.
+                self._undeletable.add(key)
+            else:
+                self._total_bytes = None  # entry removed outside _evict
             return None
         try:
+            st = path.stat()
+            self._remember_recency(key, st.st_atime, st.st_mtime)
             os.utime(path)  # refresh LRU recency
         except OSError:
             pass
         return value
+
+    def _remember_recency(self, key: str, atime: float, mtime: float) -> None:
+        """Stash an entry's pre-hit timestamps (bounded, oldest dropped)."""
+        if key not in self._pre_hit_times and \
+                len(self._pre_hit_times) >= _RECENCY_REMEMBERED:
+            self._pre_hit_times.pop(next(iter(self._pre_hit_times)))
+        self._pre_hit_times[key] = (atime, mtime)
 
     def lookup(self, key: str, job: TransientJob,
                mna: MnaSystem | None = None) -> TransientResult | None:
@@ -393,17 +459,31 @@ class ResultStore:
         return TransientResult(mna, payload[0], payload[1],
                                stats={"source": "store"})
 
-    def discard_hit(self) -> None:
+    def discard_hit(self, key: str | None = None) -> None:
         """Recount one successful :meth:`lookup` as a miss.
 
         For callers that fetched an entry and then decided not to use it
         (the execution layer discards the hits of partially-warm
         adaptive groups so the whole group re-solves together): keeps
         the accounting invariant — effective outcomes, not raw lookups —
-        in this module.
+        in this module.  ``hits`` never goes negative (a stray discard
+        is an accounting bug upstream, not license to report one).
+
+        When ``key`` is given, the entry's pre-hit LRU recency is
+        restored too: the discarded lookup's ``os.utime`` refresh would
+        otherwise make an entry the caller *didn't use* look hot to
+        eviction, aging out genuinely-hot entries in its place.
         """
-        self.hits -= 1
+        self.hits = max(0, self.hits - 1)
         self.misses += 1
+        if key is None:
+            return
+        stamp = self._pre_hit_times.pop(key, None)
+        if stamp is not None:
+            try:
+                os.utime(self._path(key), times=stamp)
+            except OSError:
+                pass  # entry already evicted/removed: nothing to restore
 
     def store(self, key: str, result: TransientResult) -> None:
         """Insert a result atomically, then evict LRU entries over budget."""
@@ -432,6 +512,10 @@ class ResultStore:
                     tmp.unlink()
                 except OSError:
                     pass
+        # A fresh write under the key supersedes any corrupt entry the
+        # store could not delete (and any pre-hit recency stamp).
+        self._undeletable.discard(key)
+        self._pre_hit_times.pop(key, None)
         self._stores_since_rescan += 1
         if self._stores_since_rescan >= _RESCAN_EVERY:
             self._total_bytes = None  # pick up concurrent writers' bytes
@@ -477,11 +561,21 @@ class ResultStore:
         self._write_entry(key, dc=np.asarray(solution, dtype=np.float64))
         self.dc_stores += 1
 
-    def _entries(self) -> list[tuple[float, int, Path]]:
-        """All entries as ``(mtime, size, path)``, oldest first."""
+    def _entries(self, own_only: bool = False) -> list[tuple[float, int, Path]]:
+        """Entries as ``(mtime, size, path)``, oldest first.
+
+        Root-wide by default — the size budget and LRU eviction span
+        every namespace sharing the root.  ``own_only`` restricts to
+        this store's namespace (used by :meth:`clear`, :meth:`stats`
+        and ``len()`` so one tenant's view never reports — or deletes —
+        another tenant's entries); a store without a namespace owns the
+        whole root.
+        """
+        pattern = f"{self.namespace}--*.npz" \
+            if (own_only and self.namespace) else "*.npz"
         out = []
         if self.root.is_dir():
-            for p in self.root.glob("*.npz"):
+            for p in self.root.glob(pattern):
                 try:
                     st = p.stat()
                 except OSError:
@@ -530,21 +624,28 @@ class ResultStore:
         self.dc_stores = 0
 
     def clear(self) -> None:
-        """Delete every on-disk entry and reset all counters."""
-        for _, _, path in self._entries():
+        """Delete every on-disk entry of *this namespace* and reset all
+        counters (a namespace-less store owns, and clears, the whole
+        root)."""
+        for _, _, path in self._entries(own_only=True):
             try:
                 path.unlink()
             except OSError:
                 pass
-        self._total_bytes = 0
+        # Other namespaces' bytes may remain: rescan on next need.
+        self._total_bytes = None
+        self._undeletable.clear()
+        self._pre_hit_times.clear()
         self.reset_counters()
 
     def __len__(self) -> int:
-        return len(self._entries())
+        return len(self._entries(own_only=True))
 
     def stats(self) -> dict:
-        """Counters plus current entry count and on-disk byte size."""
-        entries = self._entries()
+        """Counters plus current entry count and on-disk byte size
+        (``entries``/``bytes`` cover this namespace; the eviction budget
+        itself is root-wide)."""
+        entries = self._entries(own_only=True)
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -559,6 +660,7 @@ class ResultStore:
             "entries": len(entries),
             "bytes": sum(size for _, size, _ in entries),
             "root": str(self.root),
+            "namespace": self.namespace,
         }
 
 

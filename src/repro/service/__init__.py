@@ -1,0 +1,32 @@
+"""Long-running noise-aware STA job service (stdlib-only).
+
+The batch entry points (:mod:`repro.exec`, the experiment drivers) pay
+process start-up on every run: analysis caches rebuild, the worker pool
+respawns, the result store re-walks.  This package keeps all of that
+warm behind a small JSON-lines-over-TCP daemon:
+
+* :mod:`~repro.service.protocol` — the wire format;
+* :mod:`~repro.service.queue` — admission control (bounded depth,
+  per-client quotas, retry-after hints);
+* :mod:`~repro.service.jobs` — job kinds (``transient``, ``table1``)
+  and the open registry for new ones;
+* :mod:`~repro.service.server` — the asyncio daemon
+  (``python -m repro.service``);
+* :mod:`~repro.service.client` — a blocking client for scripts/tests.
+"""
+
+from .client import ServiceClient, ServiceError
+from .jobs import (JOB_KINDS, JobSpecError, ServiceJob, build_job,
+                   register_job_kind)
+from .protocol import PROTOCOL_VERSION, ProtocolError, decode, encode
+from .queue import AdmissionQueue, QueuedJob, Rejected
+from .server import ServiceSettings, StaService, serve_in_thread
+
+__all__ = [
+    "PROTOCOL_VERSION", "ProtocolError", "encode", "decode",
+    "AdmissionQueue", "QueuedJob", "Rejected",
+    "JOB_KINDS", "JobSpecError", "ServiceJob", "build_job",
+    "register_job_kind",
+    "ServiceSettings", "StaService", "serve_in_thread",
+    "ServiceClient", "ServiceError",
+]

@@ -1,0 +1,64 @@
+"""Run the STA job service as a daemon: ``python -m repro.service``.
+
+Flags override the ``REPRO_SERVICE_*`` knobs; the execution stack
+(workers, result store, shard timeout) comes from the usual
+``REPRO_*`` environment via :func:`repro.exec.default_execution`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from .server import ServiceSettings, StaService
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    defaults = ServiceSettings.from_env()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Noise-aware STA job service (JSON-lines over TCP).")
+    parser.add_argument("--host", default=defaults.host,
+                        help=f"bind address (default {defaults.host})")
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help=f"bind port, 0 for ephemeral "
+                             f"(default {defaults.port})")
+    parser.add_argument("--queue-depth", type=int,
+                        default=defaults.queue_depth,
+                        help="admission queue depth "
+                             f"(default {defaults.queue_depth})")
+    parser.add_argument("--quota", type=int, default=defaults.quota,
+                        help="per-client queued+running cap "
+                             f"(default {defaults.quota})")
+    parser.add_argument("--concurrency", type=int,
+                        default=defaults.concurrency,
+                        help="jobs executed at once "
+                             f"(default {defaults.concurrency})")
+    args = parser.parse_args(argv)
+
+    settings = ServiceSettings(host=args.host, port=args.port,
+                               queue_depth=args.queue_depth,
+                               quota=args.quota,
+                               concurrency=args.concurrency)
+    service = StaService(settings)
+
+    async def _run() -> None:
+        await service.start()
+        # One parseable line so wrappers (smoke test, shell scripts) can
+        # discover an ephemeral port without racing the listener.
+        print(f"repro-service listening on {service.host}:{service.port}",
+              flush=True)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        with contextlib.suppress(Exception):
+            asyncio.run(service.stop())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

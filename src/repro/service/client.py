@@ -1,0 +1,186 @@
+"""Blocking client for the STA job service.
+
+A thin synchronous wrapper over the JSON-lines protocol — plain
+``socket`` + ``json``, importable from scripts and tests without any
+asyncio plumbing.  One client holds one connection and runs one
+submission at a time (the server itself multiplexes fine; this class
+just keeps the common case simple).
+
+Typical use::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=port, client="tenant-a") as svc:
+        result = svc.submit({"kind": "transient", ...},
+                            on_event=print)        # streamed partials
+        stats = svc.stats()
+
+``submit`` raises :class:`~repro.service.queue.Rejected` when admission
+control refuses the job; :meth:`ServiceClient.submit_with_retry` turns
+that into deterministic honour-the-hint backoff instead.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections.abc import Callable, Iterator
+
+from .._knobs import knob
+from .protocol import PROTOCOL_VERSION, ProtocolError, decode, encode
+from .queue import Rejected
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """The service reported an ``error`` event for our request."""
+
+
+class ServiceClient:
+    """One blocking connection to a running :class:`~repro.service.server.StaService`.
+
+    Parameters
+    ----------
+    host / port:
+        Where the service listens; default to the ``REPRO_SERVICE_HOST``
+        / ``REPRO_SERVICE_PORT`` knobs so a client and a default daemon
+        agree without configuration.
+    client:
+        Tenant name sent with every submission — admission quota bucket
+        and result-store namespace.
+    timeout:
+        Socket timeout in seconds for connect and reads; ``None`` waits
+        forever (jobs can legitimately take minutes).
+    """
+
+    def __init__(self, host: "str | None" = None, port: "int | None" = None,
+                 *, client: str = "", timeout: "float | None" = None):
+        self.host = host if host is not None else knob("REPRO_SERVICE_HOST")
+        self.port = port if port is not None else knob("REPRO_SERVICE_PORT")
+        self.client = client
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        hello = self._read()
+        if hello.get("event") != "hello":
+            raise ServiceError(f"expected hello, got {hello!r}")
+        if hello.get("version") != PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol version mismatch: server speaks "
+                f"{hello.get('version')}, client speaks {PROTOCOL_VERSION}")
+
+    # -- plumbing ----------------------------------------------------------
+    def _write(self, message: dict) -> None:
+        self._file.write(encode(message))
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        try:
+            return decode(line)
+        except ProtocolError as exc:
+            raise ServiceError(f"bad line from service: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass  # already torn down is fine for close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- simple ops ----------------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness probe; returns the ``pong`` event."""
+        self._write({"op": "ping"})
+        return self._read()
+
+    def stats(self) -> dict:
+        """Queue / store / fleet statistics snapshot."""
+        self._write({"op": "stats"})
+        reply = self._read()
+        if reply.get("event") != "stats":
+            raise ServiceError(f"expected stats, got {reply!r}")
+        return reply["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the service to drain and stop."""
+        self._write({"op": "shutdown"})
+        reply = self._read()
+        if reply.get("event") != "bye":
+            raise ServiceError(f"expected bye, got {reply!r}")
+
+    # -- submissions -----------------------------------------------------
+    def iter_submit(self, job: dict, *, priority: int = 0) -> Iterator[dict]:
+        """Submit ``job`` and yield every event as it streams.
+
+        Yields the ``accepted`` event, then partial-result events, and
+        finally the ``done`` event.  Raises
+        :class:`~repro.service.queue.Rejected` on refusal and
+        :class:`ServiceError` when the job (or spec) fails server-side.
+        """
+        self._write({"op": "submit", "job": job, "priority": priority,
+                     "client": self.client})
+        first = self._read()
+        event = first.get("event")
+        if event == "rejected":
+            raise Rejected(first.get("reason", "rejected"),
+                           float(first.get("retry_after", 0.0)))
+        if event == "error":
+            raise ServiceError(first.get("error", "unknown error"))
+        if event != "accepted":
+            raise ServiceError(f"expected accepted, got {first!r}")
+        yield first
+        job_id = first.get("id")
+        while True:
+            message = self._read()
+            if message.get("id") != job_id:
+                continue  # stray event from a previous stream
+            if message.get("event") == "error":
+                raise ServiceError(message.get("error", "unknown error"))
+            yield message
+            if message.get("event") == "done":
+                return
+
+    def submit(self, job: dict, *, priority: int = 0,
+               on_event: "Callable[[dict], None] | None" = None) -> dict:
+        """Submit ``job``, stream partials to ``on_event``, return the result.
+
+        The return value is the ``done`` event's ``result`` payload.
+        """
+        result: dict = {}
+        for message in self.iter_submit(job, priority=priority):
+            if on_event is not None:
+                on_event(message)
+            if message.get("event") == "done":
+                result = message.get("result", {})
+        return result
+
+    def submit_with_retry(self, job: dict, *, priority: int = 0,
+                          on_event: "Callable[[dict], None] | None" = None,
+                          attempts: int = 8, max_wait: float = 5.0,
+                          sleep: "Callable[[float], None]" = time.sleep) -> dict:
+        """:meth:`submit`, honouring admission-control backoff hints.
+
+        On :class:`~repro.service.queue.Rejected`, waits the service's
+        ``retry_after`` hint (capped at ``max_wait``) and resubmits, up
+        to ``attempts`` tries — deterministic, no jitter, because the
+        hint already encodes the backlog.  The last refusal propagates.
+        ``sleep`` is injectable for tests.
+        """
+        for attempt in range(attempts):
+            try:
+                return self.submit(job, priority=priority, on_event=on_event)
+            except Rejected as exc:
+                if attempt == attempts - 1:
+                    raise
+                sleep(min(max_wait, max(0.0, exc.retry_after)))
+        raise AssertionError("unreachable")  # pragma: no cover

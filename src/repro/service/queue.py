@@ -1,0 +1,193 @@
+"""Priority job queue with admission control.
+
+The synchronous core of the service's queueing discipline — pure data
+structure, no asyncio, so the policy is unit-testable on its own and
+the server (:mod:`repro.service.server`) stays a thin I/O wrapper.
+
+Admission control
+-----------------
+A queue that accepts everything converts overload into unbounded memory
+and unbounded latency; this one refuses early instead:
+
+* **bounded depth** — at most ``max_depth`` jobs queued + running; the
+  excess is rejected with a ``retry_after`` hint derived from observed
+  job durations, so clients back off proportionally to the actual
+  backlog instead of hammering a loaded service;
+* **per-client quotas** — one client may hold at most ``quota``
+  queued + running slots, so a single noisy tenant cannot starve the
+  rest of the fleet even while the queue has room.
+
+Ordering is by ``priority`` (higher first), FIFO within a priority —
+deterministic for a given submission sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .._util import require
+
+__all__ = ["Rejected", "QueuedJob", "AdmissionQueue"]
+
+#: Seed for the duration estimate before any job has completed (s).
+_INITIAL_JOB_SECONDS = 1.0
+
+#: Exponential-moving-average weight of the newest completed duration.
+_EMA_ALPHA = 0.3
+
+#: Floor on the retry-after hint (s): even an empty-looking queue asks
+#: clients to wait one beat rather than busy-spin.
+_MIN_RETRY_AFTER = 0.05
+
+
+class Rejected(Exception):
+    """Admission control refused a submission.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable refusal (``"queue full"``, ``"client quota
+        exceeded"``) — stable strings, part of the wire protocol.
+    retry_after:
+        Suggested wait in seconds before retrying.
+    """
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(f"{reason} (retry after {retry_after:.2f}s)")
+        self.reason = reason
+        self.retry_after = float(retry_after)
+
+
+@dataclass(order=True)
+class QueuedJob:
+    """One admitted job; heap-ordered by (-priority, seq) = FIFO within
+    a priority."""
+
+    sort_key: tuple = field(init=False, repr=False)
+    priority: int = field(compare=False)
+    seq: int = field(compare=False)
+    client: str = field(compare=False)
+    payload: object = field(compare=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (-self.priority, self.seq)
+
+
+class AdmissionQueue:
+    """Bounded priority queue with per-client quotas (not thread-safe;
+    the server serialises access on its event loop).
+
+    Parameters
+    ----------
+    max_depth:
+        Cap on jobs queued + running.
+    quota:
+        Per-client cap on jobs queued + running.
+    concurrency:
+        How many jobs the owner executes at once — scales the
+        ``retry_after`` backlog estimate.
+    """
+
+    def __init__(self, max_depth: int = 64, quota: int = 16,
+                 concurrency: int = 1):
+        require(max_depth >= 1, "max_depth must be at least 1")
+        require(quota >= 1, "quota must be at least 1")
+        require(concurrency >= 1, "concurrency must be at least 1")
+        self.max_depth = int(max_depth)
+        self.quota = int(quota)
+        self.concurrency = int(concurrency)
+        self._heap: list[QueuedJob] = []
+        self._seq = 0
+        self._held: dict[str, int] = {}  # client -> queued + running
+        self._running = 0
+        self._ema_seconds = _INITIAL_JOB_SECONDS
+        self.submitted = 0
+        self.completed = 0
+        self.rejected_full = 0
+        self.rejected_quota = 0
+
+    # -- admission -------------------------------------------------------
+    def submit(self, payload, *, priority: int = 0,
+               client: str = "") -> QueuedJob:
+        """Admit a job or raise :class:`Rejected`.
+
+        The quota check runs first: an over-quota client is told so even
+        when the queue also happens to be full, because *its* remedy
+        (wait for its own jobs) differs from the fleet-wide one.
+        """
+        held = self._held.get(client, 0)
+        if held >= self.quota:
+            self.rejected_quota += 1
+            raise Rejected("client quota exceeded",
+                           self.retry_after(backlog=held))
+        if self.depth + self._running >= self.max_depth:
+            self.rejected_full += 1
+            raise Rejected("queue full", self.retry_after())
+        job = QueuedJob(priority=int(priority), seq=self._seq,
+                        client=client, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, job)
+        self._held[client] = held + 1
+        self.submitted += 1
+        return job
+
+    # -- consumption -----------------------------------------------------
+    def pop(self) -> "QueuedJob | None":
+        """Highest-priority job (marked running), or ``None`` when idle."""
+        if not self._heap:
+            return None
+        job = heapq.heappop(self._heap)
+        self._running += 1
+        return job
+
+    def finish(self, job: QueuedJob, seconds: "float | None" = None) -> None:
+        """Release a popped job's slots and fold its duration into the
+        retry-after estimate."""
+        self._running = max(0, self._running - 1)
+        held = self._held.get(job.client, 0)
+        if held <= 1:
+            self._held.pop(job.client, None)
+        else:
+            self._held[job.client] = held - 1
+        self.completed += 1
+        if seconds is not None and seconds >= 0.0:
+            self._ema_seconds = (_EMA_ALPHA * float(seconds)
+                                 + (1.0 - _EMA_ALPHA) * self._ema_seconds)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Jobs waiting (excluding running)."""
+        return len(self._heap)
+
+    @property
+    def running(self) -> int:
+        """Jobs popped but not yet finished."""
+        return self._running
+
+    def retry_after(self, backlog: "int | None" = None) -> float:
+        """Suggested client wait: the backlog's expected drain time.
+
+        ``backlog`` defaults to the whole queue (queue-full rejections);
+        quota rejections pass the client's own held count instead —
+        their wait ends when *their* jobs finish, not the fleet's.
+        """
+        n = (self.depth + self._running) if backlog is None else backlog
+        return max(_MIN_RETRY_AFTER,
+                   self._ema_seconds * n / self.concurrency)
+
+    def stats(self) -> dict:
+        """Counters + current occupancy (the service's ``stats`` op)."""
+        return {
+            "depth": self.depth,
+            "running": self._running,
+            "max_depth": self.max_depth,
+            "quota": self.quota,
+            "clients": len(self._held),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected_full": self.rejected_full,
+            "rejected_quota": self.rejected_quota,
+            "ema_job_seconds": self._ema_seconds,
+        }

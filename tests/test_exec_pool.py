@@ -258,3 +258,89 @@ class TestCostBalancedShards:
         serial = simulate_transient_many(jobs)
         sharded = run_jobs(jobs, ExecutionConfig(workers=2))
         assert_equivalent(serial, sharded)
+
+
+def _wedged_shard(jobs):  # module-level: picklable into the workers
+    import time
+    time.sleep(60.0)  # far past any test deadline; abandoned, not joined
+    raise AssertionError("unreachable: the deadline should abandon us")
+
+
+class TestWedgedWorkerDeadline:
+    """shard_timeout turns a wedged (hung, non-crashing) worker into the
+    same inline re-solve the crash path already gets — run_jobs must
+    never block on a worker that will not return."""
+
+    def test_wedged_worker_times_out_and_resolves_inline(self, monkeypatch):
+        jobs = job_mix()
+        serial = simulate_transient_many(jobs)
+        monkeypatch.setattr(pool_mod, "_simulate_shard", _wedged_shard)
+        diag = {}
+        results = run_jobs(jobs,
+                           ExecutionConfig(workers=2, shard_timeout=0.25),
+                           diag=diag)
+        # Every shard wedged: all counted as timeouts AND as fallbacks.
+        assert diag["timeout_shards"] == diag["shards"] >= 2
+        assert diag["fallback_shards"] == diag["shards"]
+        assert_equivalent(serial, results)
+
+    def test_adaptive_wedged_worker_times_out(self, monkeypatch):
+        jobs = adaptive_job_mix()
+        serial = simulate_transient_many(jobs)
+        monkeypatch.setattr(pool_mod, "_simulate_shard", _wedged_shard)
+        diag = {}
+        results = run_jobs(jobs,
+                           ExecutionConfig(workers=2, shard_timeout=0.25),
+                           diag=diag)
+        assert diag["timeout_shards"] == diag["shards"] >= 2
+        assert_equivalent(serial, results)
+
+    def test_generous_deadline_never_fires(self):
+        jobs = [rc_job(1e3, 30e-12 * k) for k in range(6)]
+        diag = {}
+        results = run_jobs(jobs,
+                           ExecutionConfig(workers=2, shard_timeout=120.0),
+                           diag=diag)
+        assert diag["mode"] == "sharded"
+        assert diag["timeout_shards"] == 0
+        assert diag["fallback_shards"] == 0
+        assert_equivalent(simulate_transient_many(jobs), results)
+
+    def test_crash_is_not_counted_as_timeout(self, monkeypatch):
+        jobs = [rc_job(1e3, 30e-12 * k) for k in range(6)]
+        monkeypatch.setattr(pool_mod, "_simulate_shard", _crashing_shard)
+        diag = {}
+        results = run_jobs(jobs,
+                           ExecutionConfig(workers=2, shard_timeout=120.0),
+                           diag=diag)
+        assert diag["fallback_shards"] == diag["shards"] >= 2
+        assert diag["timeout_shards"] == 0
+        assert_equivalent(simulate_transient_many(jobs), results)
+
+    def test_deadlines_scale_with_shard_cost(self):
+        big = [rc_job(1e3, 10e-12 * k, n_stages=30) for k in range(2)]
+        small = [rc_job(1e3, 10e-12 * k) for k in range(6)]
+        jobs = big + small
+        mnas = [MnaSystem(j.circuit) for j in jobs]
+        shards = make_shards(list(range(len(jobs))), jobs, mnas, 2)
+        budgets = pool_mod._shard_deadlines(shards, jobs, mnas, 2.0)
+        assert len(budgets) == len(shards)
+        # The base knob is a floor: no shard gets less than the average
+        # shard's budget.
+        assert all(b >= 2.0 for b in budgets)
+        costs = [sum(pool_mod.job_cost(jobs[k], mnas[k]) for k in shard)
+                 for shard in shards]
+        assert budgets[costs.index(max(costs))] == max(budgets)
+        # 0 (the default) disables deadlines entirely.
+        assert pool_mod._shard_deadlines(shards, jobs, mnas, 0.0) \
+            == [None] * len(shards)
+
+    def test_shard_timeout_comes_from_the_environment(self):
+        cfg = ExecutionConfig.from_env({"REPRO_SHARD_TIMEOUT": "7.5",
+                                        "REPRO_WORKERS": "2"})
+        assert cfg.shard_timeout == 7.5 and cfg.workers == 2
+        # Garbage degrades to the default (off), like every other knob.
+        assert ExecutionConfig.from_env(
+            {"REPRO_SHARD_TIMEOUT": "-3"}).shard_timeout == 0.0
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=2, shard_timeout=-1.0)

@@ -4,7 +4,9 @@ eviction, and the warm-store zero-solve guarantee on ``run_table1``."""
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -418,3 +420,185 @@ class TestDcStore:
         store.store_dc(key, np.ones(mna.size))
         np.testing.assert_array_equal(store.lookup_dc(key, mna),
                                       np.ones(mna.size))
+
+
+class TestUndeletableCorruptEntry:
+    """A corrupt entry the store cannot unlink (read-only root, a
+    concurrent sweeper holding the file) must be counted once and then
+    read as a plain miss — not re-counted, and not invalidating the
+    incremental byte total, on every subsequent lookup."""
+
+    def _corrupt_undeletable(self, store, job, monkeypatch):
+        cfg = ExecutionConfig(store=store)
+        run_jobs([job], cfg)
+        key = store.key_for(job)
+        store._path(key).write_bytes(b"this is not an npz file")
+        real_unlink = Path.unlink
+
+        def refuse(self, *args, **kwargs):
+            if self.suffix == ".npz":
+                raise OSError("read-only file system")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", refuse)
+        return cfg, key
+
+    def test_corrupt_counted_once_not_per_lookup(self, store, monkeypatch):
+        job = rc_job()
+        cfg, key = self._corrupt_undeletable(store, job, monkeypatch)
+        for _ in range(3):
+            assert store.lookup(key, job) is None
+        assert store.corrupt == 1, "one broken entry, one corrupt count"
+        assert store._path(key).exists()  # unlink refused: still on disk
+
+    def test_byte_total_not_rescanned_per_lookup(self, store, monkeypatch):
+        job = rc_job()
+        cfg, key = self._corrupt_undeletable(store, job, monkeypatch)
+        store.total_bytes()  # seed the incremental counter
+        store.lookup(key, job)  # first lookup: corrupt, unlink refused
+        assert store._total_bytes is not None, \
+            "entry still on disk: the byte total is still correct"
+        store.lookup(key, job)
+        assert store._total_bytes is not None
+
+    def test_fresh_write_supersedes_undeletable_entry(self, store, monkeypatch):
+        job = rc_job()
+        cfg, key = self._corrupt_undeletable(store, job, monkeypatch)
+        recovered = run_jobs([job], cfg)[0]  # miss → re-solve → re-store
+        assert store.corrupt == 1
+        np.testing.assert_array_equal(recovered._x, job.run()._x)
+        # The rewrite cleared the memo: the key is readable again.
+        assert run_jobs([job], cfg)[0].stats["source"] == "store"
+        assert store.corrupt == 1
+
+
+class TestDiscardRecency:
+    def test_discarded_hit_restores_lru_recency(self, store):
+        """A lookup that run_jobs later discards (partially-warm adaptive
+        group) must not leave the entry's mtime refreshed: the discarded
+        entry would look hot to LRU eviction and age out genuinely-hot
+        entries in its place."""
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        run_jobs([job], cfg)
+        key = store.key_for(job)
+        path = store._path(key)
+        old = (1_000_000_000.0, 1_000_000_000.0)  # unmistakably ancient
+        os.utime(path, times=old)
+        store.reset_counters()
+
+        assert store.lookup(key, job) is not None  # refreshes mtime
+        assert path.stat().st_mtime > old[1]
+        store.discard_hit(key)
+        assert path.stat().st_mtime == pytest.approx(old[1], abs=1.0)
+        assert (store.hits, store.misses) == (0, 1)
+
+    def test_partially_warm_adaptive_group_keeps_entry_cold(self, store):
+        """End to end: the solo-warmed adaptive entry discarded for group
+        coherence keeps its pre-lookup recency."""
+        cfg = ExecutionConfig(store=store)
+        adaptive = TransientOptions(adaptive=True)
+        jobs = [dataclasses.replace(rc_job(start=10e-12 * k, t_stop=4e-9),
+                                    options=adaptive)
+                for k in range(3)]
+        run_jobs([jobs[0]], cfg)  # warm exactly one member
+        key = store.key_for(jobs[0])
+        path = store._path(key)
+        old = (1_000_000_000.0, 1_000_000_000.0)
+        os.utime(path, times=old)
+        run_jobs(jobs, cfg)  # hit on jobs[0] is discarded for coherence
+        # The group re-solve overwrote the entry (fresh write = fresh
+        # mtime) — what must NOT happen is a refreshed mtime *without*
+        # a rewrite; spy on the pre-rewrite stamp via the memo instead.
+        assert key not in store._pre_hit_times
+
+    def test_hits_never_go_negative(self, store):
+        store.discard_hit()
+        assert store.hits == 0 and store.misses == 1
+        store.hits = 1
+        store.discard_hit()
+        store.discard_hit()
+        store.discard_hit()
+        assert store.hits == 0 and store.misses == 4
+
+    def test_discard_of_evicted_entry_is_harmless(self, store):
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        run_jobs([job], cfg)
+        key = store.key_for(job)
+        assert store.lookup(key, job) is not None
+        store._path(key).unlink()  # entry vanished between hit and discard
+        store.discard_hit(key)  # must not raise
+        assert store.hits == 0
+
+
+class TestNamespaces:
+    def test_namespaces_do_not_alias(self, tmp_path):
+        """The same job stored by two tenants lives twice; neither tenant
+        sees the other's entry."""
+        root = tmp_path / "store"
+        a = ResultStore(root, namespace="tenant-a")
+        b = a.namespaced("tenant-b")
+        job = rc_job()
+        run_jobs([job], ExecutionConfig(store=a))
+        assert (a.misses, a.stores) == (1, 1)
+        run_jobs([job], ExecutionConfig(store=b))
+        assert (b.hits, b.misses, b.stores) == (0, 1, 1), \
+            "tenant-b must not hit tenant-a's entry"
+        assert len(a) == 1 and len(b) == 1
+        # Warm within a namespace still works.
+        run_jobs([job], ExecutionConfig(store=a))
+        assert a.hits == 1
+
+    def test_clear_is_namespace_scoped(self, tmp_path):
+        root = tmp_path / "store"
+        a = ResultStore(root, namespace="tenant-a")
+        b = a.namespaced("tenant-b")
+        job = rc_job()
+        run_jobs([job], ExecutionConfig(store=a))
+        run_jobs([job], ExecutionConfig(store=b))
+        a.clear()
+        assert len(a) == 0 and len(b) == 1
+        assert run_jobs([job], ExecutionConfig(store=b))[0] \
+            .stats["source"] == "store"
+
+    def test_rootless_store_owns_the_whole_root(self, tmp_path):
+        root = tmp_path / "store"
+        plain = ResultStore(root)
+        a = plain.namespaced("tenant-a")
+        run_jobs([rc_job()], ExecutionConfig(store=a))
+        run_jobs([rc_job(start=70e-12)], ExecutionConfig(store=plain))
+        assert len(a) == 1
+        assert len(plain) == 2, "namespace-less view spans the root"
+        plain.clear()
+        assert len(a) == 0
+
+    def test_eviction_budget_is_root_wide(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        run_jobs([rc_job()], ExecutionConfig(store=probe))
+        entry_bytes = probe.stats()["bytes"]
+        root = tmp_path / "store"
+        a = ResultStore(root, max_bytes=int(2.5 * entry_bytes),
+                        namespace="tenant-a")
+        b = a.namespaced("tenant-b")
+        run_jobs([rc_job()], ExecutionConfig(store=a))
+        time.sleep(0.02)
+        run_jobs([rc_job()], ExecutionConfig(store=b))
+        time.sleep(0.02)
+        run_jobs([rc_job(start=70e-12)], ExecutionConfig(store=b))
+        # Three entries over a 2.5-entry budget: the oldest (tenant-a's)
+        # is evicted even though tenant-b did the inserting.
+        assert b.evictions == 1
+        assert len(a) == 0 and len(b) == 2
+
+    def test_bad_namespace_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, namespace="../escape")
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, namespace="a/b")
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, namespace="x" * 65)
+
+    def test_stats_report_namespace(self, tmp_path):
+        store = ResultStore(tmp_path, namespace="svc")
+        assert store.stats()["namespace"] == "svc"
