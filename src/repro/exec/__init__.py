@@ -21,7 +21,7 @@ batched engine (PR 1) and the structured solver backends (PR 2):
 from .config import (ExecutionConfig, default_execution,
                      set_default_execution, store_max_bytes)
 from .pool import (fleet_stats, job_cost, make_shards, reset_fleet_stats,
-                   run_jobs)
+                   run_indexed, run_jobs)
 from .store import (STORE_VERSION, DcStoreMemo, ResultStore,
                     UnkeyableJobError, dc_key, job_key)
 
@@ -31,6 +31,7 @@ __all__ = [
     "set_default_execution",
     "store_max_bytes",
     "run_jobs",
+    "run_indexed",
     "make_shards",
     "job_cost",
     "fleet_stats",

@@ -64,8 +64,8 @@ from ..circuit.transient import (TransientJob, TransientResult, job_group_key,
                                  simulate_transient_many)
 from .config import ExecutionConfig, default_execution
 
-__all__ = ["run_jobs", "make_shards", "job_cost", "fleet_stats",
-           "reset_fleet_stats"]
+__all__ = ["run_jobs", "run_indexed", "make_shards", "job_cost",
+           "fleet_stats", "reset_fleet_stats"]
 
 
 def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarray, dict]]:
@@ -212,6 +212,94 @@ def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
         shards[w].extend(chunk)
         loads[w] += cost
     return [s for s in shards if s]
+
+
+def _run_indexed_chunk(fn, indices: list[int]) -> list:
+    """Worker entry point for :func:`run_indexed`: evaluate one chunk."""
+    return [fn(i) for i in indices]
+
+
+def run_indexed(
+    fn,
+    count: int,
+    execution: ExecutionConfig | None = None,
+    diag: dict | None = None,
+) -> list:
+    """Evaluate ``[fn(0), fn(1), ..., fn(count-1)]``, sharded over workers.
+
+    The generic fan-out companion of :func:`run_jobs` for index-addressed
+    work that is not a transient job — Monte-Carlo samples above all.
+    ``fn`` must be picklable (a module-level function or
+    ``functools.partial`` over one) and *pure in its index*: each call
+    derives everything it needs (e.g. an RNG stream) from ``i`` alone,
+    which is what makes the result independent of the sharding.
+
+    Determinism contract: results come back in index order, and the
+    value of ``fn(i)`` cannot depend on the worker count, so
+    ``run_indexed(fn, n, cfg)`` is *bit-identical* for every
+    ``cfg.workers`` — the property the statistical STA smoke asserts.
+
+    Failure handling mirrors :func:`run_jobs`: pool-creation failure and
+    per-chunk worker crashes fall back to evaluating the chunk inline,
+    counted in ``diag["fallback_shards"]``; a crash costs time, never
+    results or determinism.
+    """
+    require_count = int(count)
+    if require_count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    cfg = execution if execution is not None else default_execution()
+    workers = max(1, int(cfg.workers))
+    info = {"mode": "serial", "jobs": require_count, "shards": 0,
+            "fallback_shards": 0}
+    if diag is not None:
+        diag.update(info)
+    if require_count == 0:
+        return []
+
+    if workers == 1 or require_count < cfg.min_pool_jobs:
+        results = [fn(i) for i in range(require_count)]
+        if diag is not None:
+            diag.update(info)
+        return results
+
+    # Contiguous chunks, one per worker: a pure function of (count,
+    # workers), and irrelevant to the results by the purity contract.
+    n_chunks = min(workers, require_count)
+    bounds = [round(require_count * w / n_chunks) for w in range(n_chunks + 1)]
+    chunks = [list(range(bounds[w], bounds[w + 1])) for w in range(n_chunks)]
+    chunks = [c for c in chunks if c]
+    info.update({"mode": "sharded", "shards": len(chunks)})
+
+    results: list = [None] * require_count
+    try:
+        executor = ProcessPoolExecutor(max_workers=len(chunks),
+                                       mp_context=_pool_context())
+    except Exception:
+        info.update({"mode": "serial", "shards": 0})
+        info["fallback_shards"] += len(chunks)
+        for chunk in chunks:
+            for i in chunk:
+                results[i] = fn(i)
+        if diag is not None:
+            diag.update(info)
+        return results
+
+    with executor:
+        futures = [(chunk, executor.submit(_run_indexed_chunk, fn, chunk))
+                   for chunk in chunks]
+        for chunk, future in futures:
+            try:
+                payload = future.result()
+            except Exception:
+                # Worker crash / pickling failure: re-evaluate inline —
+                # same values by the purity contract.
+                info["fallback_shards"] += 1
+                payload = [fn(i) for i in chunk]
+            for i, value in zip(chunk, payload):
+                results[i] = value
+    if diag is not None:
+        diag.update(info)
+    return results
 
 
 def _pool_context():

@@ -137,17 +137,59 @@ def simulate_gate_response(
 
 @dataclass(frozen=True)
 class CharacterizedCell:
-    """A cell together with its NLDM timing arc."""
+    """A cell together with its NLDM timing arcs.
+
+    Single-input cells carry one arc in ``arc``; multi-input cells list
+    one arc per related input pin in ``arcs`` (which, when non-empty,
+    supersedes ``arc`` for lookups).  ``input_cap`` overrides the
+    transistor-derived input capacitance for cells that were read from a
+    Liberty file rather than characterised from a device model.
+    """
 
     cell: InverterCell
     arc: TimingArc
     input_slews: np.ndarray = field(repr=False)
     loads: np.ndarray = field(repr=False)
+    arcs: tuple[TimingArc, ...] = ()
+    input_cap: float | None = None
 
     @property
     def name(self) -> str:
         """Library cell name."""
         return self.cell.name
+
+    @property
+    def timing_arcs(self) -> tuple[TimingArc, ...]:
+        """All timing arcs of the cell (``arcs`` if set, else ``(arc,)``)."""
+        return self.arcs if self.arcs else (self.arc,)
+
+    def arc_for(self, pin: str) -> TimingArc:
+        """The timing arc whose related input pin is ``pin``.
+
+        Raises
+        ------
+        KeyError
+            If the cell has no arc for that pin — a netlist/library
+            mismatch that must not be papered over with a guess.
+        """
+        for a in self.timing_arcs:
+            if a.related_pin == pin:
+                return a
+        raise KeyError(
+            f"cell {self.name!r} has no timing arc for input pin {pin!r} "
+            f"(arcs: {[a.related_pin for a in self.timing_arcs]})")
+
+    @property
+    def input_capacitance(self) -> float:
+        """Per-input-pin capacitance (library override or device-derived)."""
+        if self.input_cap is not None:
+            return self.input_cap
+        return self.cell.input_capacitance
+
+    @property
+    def vdd(self) -> float:
+        """Supply voltage the cell was characterised at."""
+        return self.cell.vdd
 
 
 def characterize_cell(

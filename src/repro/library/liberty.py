@@ -97,25 +97,29 @@ def write_liberty(cells: list[CharacterizedCell], library_name: str = "repro013"
     out.append("    variable_2 : total_output_net_capacitance;")
     out.append("  }")
     for entry in cells:
-        cell, arc = entry.cell, entry.arc
+        cell, arcs = entry.cell, entry.timing_arcs
         out.append(f"  cell ({cell.name}) {{")
         out.append(f"    area : {cell.drive:g};")
-        out.append(f"    pin ({arc.related_pin}) {{")
-        out.append("      direction : input;")
-        out.append(f"      capacitance : {cell.input_capacitance / _CAP_UNIT:.6g};")
-        out.append("    }")
-        out.append(f"    pin ({arc.output_pin}) {{")
+        for pin in dict.fromkeys(a.related_pin for a in arcs):
+            out.append(f"    pin ({pin}) {{")
+            out.append("      direction : input;")
+            out.append(f"      capacitance : {entry.input_capacitance / _CAP_UNIT:.6g};")
+            out.append("    }")
+        out.append(f"    pin ({arcs[0].output_pin}) {{")
         out.append("      direction : output;")
-        out.append(f'      function : "(!{arc.related_pin})";')
-        out.append("      timing () {")
-        out.append(f'        related_pin : "{arc.related_pin}";')
-        out.append("        timing_sense : negative_unate;")
-        for kind, table in (("cell_rise", arc.cell_rise),
-                            ("rise_transition", arc.rise_transition),
-                            ("cell_fall", arc.cell_fall),
-                            ("fall_transition", arc.fall_transition)):
-            _write_table(out, kind, table, "        ")
-        out.append("      }")
+        if len(arcs) == 1 and arcs[0].inverting:
+            out.append(f'      function : "(!{arcs[0].related_pin})";')
+        for arc in arcs:
+            sense = "negative_unate" if arc.inverting else "positive_unate"
+            out.append("      timing () {")
+            out.append(f'        related_pin : "{arc.related_pin}";')
+            out.append(f"        timing_sense : {sense};")
+            for kind, table in (("cell_rise", arc.cell_rise),
+                                ("rise_transition", arc.rise_transition),
+                                ("cell_fall", arc.cell_fall),
+                                ("fall_transition", arc.fall_transition)):
+                _write_table(out, kind, table, "        ")
+            out.append("      }")
         out.append("    }")
         out.append("  }")
     out.append("}")
@@ -255,12 +259,32 @@ def _table_from_group(group: LibertyGroup) -> NldmTable:
     return NldmTable(idx1, idx2, flat.reshape(idx1.size, idx2.size))
 
 
+def _arc_from_timing_group(cell_name: str, out_pin: LibertyGroup,
+                           tg: LibertyGroup) -> TimingArc:
+    tables = {}
+    for kind in ("cell_rise", "cell_fall", "rise_transition", "fall_transition"):
+        sub = tg.first(kind)
+        if sub is None:
+            raise LibertyParseError(f"cell {cell_name!r} missing {kind}")
+        tables[kind] = _table_from_group(sub)
+    return TimingArc(
+        related_pin=tg.attributes.get("related_pin", "A"),
+        output_pin=out_pin.args[0],
+        inverting=tg.attributes.get("timing_sense", "negative_unate") == "negative_unate",
+        **tables,
+    )
+
+
 def parse_liberty(text: str) -> dict[str, CharacterizedCell]:
     """Parse Liberty text into characterised cells keyed by cell name.
 
-    Cell geometry is reconstructed from the ``INVX<drive>`` naming
-    convention of this library (the .lib format does not carry transistor
-    sizes); unknown cell names raise.
+    Transistor geometry is reconstructed from the ``INVX<drive>`` naming
+    convention of this library (the .lib format does not carry device
+    sizes).  Other cell names — multi-input gates of an external library
+    such as the test corpus — get a placeholder unit-inverter geometry
+    whose input capacitance is *overridden* by the input-pin
+    ``capacitance`` attribute, which then must be present.  Multiple
+    ``timing`` groups on the output pin become one arc per related pin.
     """
     stream = _TokenStream(_tokenize(text))
     top = _parse_group(stream)
@@ -271,36 +295,41 @@ def parse_liberty(text: str) -> dict[str, CharacterizedCell]:
     cells: dict[str, CharacterizedCell] = {}
     for cg in top.all("cell"):
         cell_name = cg.args[0]
-        m = re.fullmatch(r"INVX(\d+)", cell_name)
-        if m is None:
-            raise LibertyParseError(
-                f"cannot reconstruct geometry for cell {cell_name!r}"
-            )
-        inv: InverterCell = make_inverter(int(m.group(1)), vdd=nom_v)
         out_pin = None
+        pin_cap: float | None = None
         for pg in cg.all("pin"):
             if pg.attributes.get("direction") == "output":
                 out_pin = pg
+            elif "capacitance" in pg.attributes and pin_cap is None:
+                pin_cap = float(pg.attributes["capacitance"]) * _CAP_UNIT
+        m = re.fullmatch(r"INVX(\d+)", cell_name)
+        if m is not None:
+            inv: InverterCell = make_inverter(int(m.group(1)), vdd=nom_v)
+            input_cap = None  # device-derived, exact
+        elif pin_cap is not None:
+            inv = make_inverter(1, vdd=nom_v)
+            input_cap = pin_cap
+        else:
+            raise LibertyParseError(
+                f"cannot reconstruct geometry for cell {cell_name!r}: not an "
+                f"INVX<drive> name and no input-pin capacitance to fall back on"
+            )
         if out_pin is None:
             raise LibertyParseError(f"cell {cell_name!r} has no output pin")
-        tg = out_pin.first("timing")
-        if tg is None:
+        timing_groups = out_pin.all("timing")
+        if not timing_groups:
             raise LibertyParseError(f"cell {cell_name!r} has no timing group")
-        tables = {}
-        for kind in ("cell_rise", "cell_fall", "rise_transition", "fall_transition"):
-            sub = tg.first(kind)
-            if sub is None:
-                raise LibertyParseError(f"cell {cell_name!r} missing {kind}")
-            tables[kind] = _table_from_group(sub)
-        arc = TimingArc(
-            related_pin=tg.attributes.get("related_pin", "A"),
-            output_pin=out_pin.args[0],
-            inverting=tg.attributes.get("timing_sense", "negative_unate") == "negative_unate",
-            **tables,
-        )
+        arcs = tuple(_arc_from_timing_group(cell_name, out_pin, tg)
+                     for tg in timing_groups)
+        related = [a.related_pin for a in arcs]
+        if len(set(related)) != len(related):
+            raise LibertyParseError(
+                f"cell {cell_name!r} has duplicate timing arcs for pins {related}")
         cells[cell_name] = CharacterizedCell(
-            cell=inv, arc=arc,
-            input_slews=arc.cell_rise.input_slews,
-            loads=arc.cell_rise.loads,
+            cell=inv, arc=arcs[0],
+            input_slews=arcs[0].cell_rise.input_slews,
+            loads=arcs[0].cell_rise.loads,
+            arcs=arcs if len(arcs) > 1 else (),
+            input_cap=input_cap,
         )
     return cells

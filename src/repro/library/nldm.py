@@ -128,3 +128,25 @@ class TimingArc:
         return (self.cell_fall.lookup(input_slew, load),
                 self.fall_transition.lookup(input_slew, load),
                 False)
+
+    def scaled(self, delay_factor: float,
+               slew_factor: float | None = None) -> "TimingArc":
+        """A new arc with delays (and slews) multiplied by a factor.
+
+        This is the process-variation hook: Monte-Carlo statistical STA
+        draws a per-sample ``delay_factor`` and rebuilds every table via
+        :meth:`NldmTable.map_values`.  ``slew_factor`` defaults to
+        ``delay_factor`` (slews stretch with the same device slowdown).
+        """
+        require(delay_factor > 0, "delay_factor must be positive")
+        sf = delay_factor if slew_factor is None else slew_factor
+        require(sf > 0, "slew_factor must be positive")
+        return TimingArc(
+            related_pin=self.related_pin,
+            output_pin=self.output_pin,
+            inverting=self.inverting,
+            cell_rise=self.cell_rise.map_values(lambda v: v * delay_factor),
+            cell_fall=self.cell_fall.map_values(lambda v: v * delay_factor),
+            rise_transition=self.rise_transition.map_values(lambda v: v * sf),
+            fall_transition=self.fall_transition.map_values(lambda v: v * sf),
+        )

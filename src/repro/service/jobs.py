@@ -22,6 +22,12 @@ Built-in kinds
     list of them).  Configurations run as separate groups so their rows
     stream as each group completes — a long multi-configuration sweep
     shows its first table while the second still solves.
+``sta_mc``
+    Monte-Carlo statistical STA over an inline design: structural
+    Verilog + Liberty text, σ-parameterised variation, seeded sample
+    sweep through :func:`repro.sta.statistical.run_sta_monte_carlo`.
+    Streams one ``sample`` event per Monte-Carlo sample; the final
+    result carries the arrival/slack quantiles.
 """
 
 from __future__ import annotations
@@ -311,5 +317,92 @@ class Table1ServiceJob(ServiceJob):
         return {"tables": tables}
 
 
+# ----------------------------------------------------------------------
+# kind: sta_mc
+# ----------------------------------------------------------------------
+class StaMonteCarloServiceJob(ServiceJob):
+    """Monte-Carlo statistical STA over an inline Verilog + Liberty design."""
+
+    kind = "sta_mc"
+
+    def __init__(self, spec: dict):
+        # Import at build time, not module import: the service core
+        # must not drag the STA stack in for netlist-only use.
+        from ..library.liberty import LibertyParseError, parse_liberty
+        from ..sta.netlist import NetlistError, parse_structural_verilog
+
+        verilog = spec.get("verilog")
+        liberty = spec.get("liberty")
+        _require_spec(isinstance(verilog, str) and bool(verilog),
+                      "field 'verilog' must be structural-Verilog text")
+        _require_spec(isinstance(liberty, str) and bool(liberty),
+                      "field 'liberty' must be Liberty library text")
+        try:
+            self.netlist = parse_structural_verilog(verilog)
+        except NetlistError as exc:
+            raise JobSpecError(f"bad verilog: {exc}") from exc
+        try:
+            self.library = parse_liberty(liberty)
+        except LibertyParseError as exc:
+            raise JobSpecError(f"bad liberty: {exc}") from exc
+
+        self.required = None
+        if spec.get("required") is not None:
+            self.required = _float_field(spec, "required")
+        self.input_slew = _float_field(spec, "input_slew", 50e-12)
+        _require_spec(self.input_slew > 0, "'input_slew' must be > 0")
+        samples = spec.get("samples")
+        _require_spec(samples is None
+                      or (isinstance(samples, int) and samples >= 1),
+                      "'samples' must be an integer >= 1")
+        self.samples = samples
+        seed = spec.get("seed")
+        _require_spec(seed is None or isinstance(seed, int),
+                      "'seed' must be an integer")
+        self.seed = seed
+        self.sigma_cell = _float_field(spec, "sigma_cell", 0.05)
+        self.sigma_wire = _float_field(spec, "sigma_wire", 0.10)
+        _require_spec(self.sigma_cell >= 0 and self.sigma_wire >= 0,
+                      "variation sigmas must be >= 0")
+        watch = spec.get("watch")
+        if watch is not None:
+            _require_spec(isinstance(watch, list)
+                          and all(isinstance(w, str) for w in watch),
+                          "'watch' must be a list of net names")
+        self.watch = watch
+
+    def describe(self) -> str:
+        return f"sta_mc({self.netlist.name})"
+
+    def run(self, execution: ExecutionConfig,
+            emit: "Callable[[dict], None]") -> dict:
+        from ..sta.analysis import InputSpec
+        from ..sta.statistical import McVariation, run_sta_monte_carlo
+
+        inputs = {net: InputSpec(slew=self.input_slew)
+                  for net in self.netlist.primary_inputs}
+        required = None
+        if self.required is not None:
+            required = {net: self.required
+                        for net in self.netlist.primary_outputs}
+        try:
+            result = run_sta_monte_carlo(
+                self.netlist, self.library, inputs=inputs,
+                required_times=required,
+                variation=McVariation(sigma_cell=self.sigma_cell,
+                                      sigma_wire=self.sigma_wire),
+                samples=self.samples, seed=self.seed, watch=self.watch,
+                execution=execution,
+                on_sample=lambda row: emit(dict(row, event="sample")))
+        except (KeyError, ValueError) as exc:
+            # Netlist/library mismatches (missing cells or arcs) surface
+            # at analysis time; they are client errors, not server bugs.
+            raise JobSpecError(f"cannot analyze design: {exc}") from exc
+        return {"design": self.netlist.name, "samples": result.samples,
+                "seed": result.seed, "quantiles": result.quantiles,
+                "diag": dict(result.diag)}
+
+
 register_job_kind(TransientServiceJob.kind, TransientServiceJob)
 register_job_kind(Table1ServiceJob.kind, Table1ServiceJob)
+register_job_kind(StaMonteCarloServiceJob.kind, StaMonteCarloServiceJob)

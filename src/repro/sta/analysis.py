@@ -1,10 +1,12 @@
 """Conventional static timing analysis on NLDM tables.
 
 This is the baseline engine the paper's techniques plug into: arrival
-times and slews propagate through gate arcs (table lookup) and wire arcs
-(Elmore delay with the standard PERI slew degradation), both transition
-edges are tracked, required times propagate backward, and the critical
-path can be traced.
+times and slews propagate through gate arcs (table lookup, one arc per
+related input pin of multi-input cells) and wire arcs (Elmore delay with
+the standard PERI slew degradation), both transition edges are tracked,
+required times propagate backward *per edge* along the same arcs the
+forward pass used, and the critical path is traced through the recorded
+causal (net, edge) predecessors.
 
 The noise-aware flow (:mod:`repro.sta.noise_aware`) replaces the summary
 (arrival, slew) at coupled nets with an equivalent waveform computed by a
@@ -21,9 +23,9 @@ from ..interconnect.rcline import RcLineSpec
 from ..interconnect.elmore import elmore_delays_line
 from ..library.characterize import CharacterizedCell
 from .graph import TimingGraph
-from .netlist import GateNetlist
+from .netlist import GateInstance, GateNetlist
 
-__all__ = ["EdgeTiming", "InputSpec", "StaResult", "StaEngine"]
+__all__ = ["EdgeTiming", "InputSpec", "StaResult", "StaEngine", "ArcRecord"]
 
 #: ln(9) — converts an RC time constant into a 10–90% transition time.
 _LN9 = math.log(9.0)
@@ -41,17 +43,42 @@ class EdgeTiming:
         10–90% transition time accompanying that arrival.
     from_net:
         Predecessor net on the worst path (None at primary inputs).
+    from_edge:
+        The *causal* input edge (``"rise"``/``"fall"``) at ``from_net``
+        that produced this output edge — recorded, not re-derived, so
+        path tracing and required-time propagation stay correct for
+        non-inverting arcs.
+    from_pin:
+        Input pin of the driving instance the worst path enters through.
     """
 
     arrival: float
     slew: float
     from_net: str | None = None
+    from_edge: str | None = None
+    from_pin: str | None = None
 
     def later_of(self, other: "EdgeTiming | None") -> "EdgeTiming":
         """Worst-case merge of two candidate edge timings."""
         if other is None or self.arrival >= other.arrival:
             return self
         return other
+
+
+@dataclass(frozen=True)
+class ArcRecord:
+    """One evaluated timing arc: input (net, edge) → output edge with delay.
+
+    The forward pass records every arc it evaluates; the backward pass
+    replays them, so required times subtract exactly the delay that
+    produced each arrival candidate (no re-lookup, no edge guessing).
+    """
+
+    in_net: str
+    in_pin: str
+    in_edge: str
+    out_edge: str
+    delay: float
 
 
 @dataclass(frozen=True)
@@ -69,13 +96,24 @@ class InputSpec:
 class StaResult:
     """Arrival/required/slack data for every net.
 
-    ``rise[net]`` / ``fall[net]`` are :class:`EdgeTiming`; ``required``
-    maps nets to required times (propagated from primary outputs).
+    ``rise[net]`` / ``fall[net]`` are :class:`EdgeTiming`.
+    ``required_rise`` / ``required_fall`` are per-edge required times
+    (propagated backward from primary outputs along the recorded arcs);
+    ``required`` keeps the per-net summary (min over edges) for
+    compatibility.
     """
 
     rise: dict[str, EdgeTiming] = field(default_factory=dict)
     fall: dict[str, EdgeTiming] = field(default_factory=dict)
     required: dict[str, float] = field(default_factory=dict)
+    required_rise: dict[str, float] = field(default_factory=dict)
+    required_fall: dict[str, float] = field(default_factory=dict)
+    arcs: dict[str, tuple[ArcRecord, ...]] = field(default_factory=dict)
+
+    def edge(self, net: str, edge: str) -> EdgeTiming:
+        """The :class:`EdgeTiming` of ``edge`` (``"rise"``/``"fall"``)."""
+        require(edge in ("rise", "fall"), f"bad edge {edge!r}")
+        return (self.rise if edge == "rise" else self.fall)[net]
 
     def worst_edge(self, net: str) -> tuple[str, EdgeTiming]:
         """(edge-name, timing) of the later edge at ``net``."""
@@ -86,36 +124,52 @@ class StaResult:
         """Latest arrival at ``net`` across both edges."""
         return self.worst_edge(net)[1].arrival
 
+    def slack_edge(self, net: str, edge: str) -> float:
+        """Required minus arrival for one edge at ``net``."""
+        req = self.required_rise if edge == "rise" else self.required_fall
+        require(net in req, f"no {edge} required time at net {net!r}")
+        return req[net] - self.edge(net, edge).arrival
+
     def slack(self, net: str) -> float:
-        """Required minus arrival at ``net`` (requires a required time)."""
-        require(net in self.required, f"no required time at net {net!r}")
-        return self.required[net] - self.arrival(net)
+        """Worst (minimum) slack over the edges constrained at ``net``."""
+        slacks = [self.slack_edge(net, e)
+                  for e, req in (("rise", self.required_rise),
+                                 ("fall", self.required_fall))
+                  if net in req]
+        require(bool(slacks), f"no required time at net {net!r}")
+        return min(slacks)
 
     def worst_slack(self) -> float:
         """Minimum slack over all constrained nets."""
         require(bool(self.required), "no required times set")
         return min(self.slack(net) for net in self.required)
 
-    def critical_path(self, end_net: str) -> list[str]:
-        """Trace the worst path ending at ``end_net`` back to its input."""
+    def critical_path(self, end_net: str, edge: str | None = None) -> list[str]:
+        """Trace the worst path ending at ``end_net`` back to its input.
+
+        Follows the recorded causal ``from_edge`` at every stage (correct
+        for inverting and non-inverting arcs alike).  ``edge`` selects
+        which output edge to trace; default is the later one.
+        """
+        timing = self.edge(end_net, edge) if edge else self.worst_edge(end_net)[1]
         path = [end_net]
-        edge, timing = self.worst_edge(end_net)
         while timing.from_net is not None:
             path.append(timing.from_net)
-            # An inverter flips the edge at every stage.
-            edge = "fall" if edge == "rise" else "rise"
-            timing = (self.rise if edge == "rise" else self.fall)[timing.from_net]
+            require(timing.from_edge is not None,
+                    f"missing causal edge on path at {path[-1]!r}")
+            timing = self.edge(timing.from_net, timing.from_edge)
         path.reverse()
         return path
 
 
 class StaEngine:
-    """NLDM-based STA over a characterised inverter library.
+    """NLDM-based STA over a characterised cell library.
 
     Parameters
     ----------
     library:
         Cell name → :class:`~repro.library.characterize.CharacterizedCell`.
+        Multi-input cells carry one timing arc per related input pin.
     wire_specs:
         Optional net name → :class:`~repro.interconnect.rcline.RcLineSpec`
         for nets with significant interconnect; other nets are ideal.
@@ -135,8 +189,8 @@ class StaEngine:
 
     def net_load(self, netlist: GateNetlist, net: str) -> float:
         """Capacitive load on ``net``: fanout pin caps plus wire capacitance."""
-        load = sum(self._cell(inst.cell).cell.input_capacitance
-                   for inst in netlist.loads_of(net))
+        load = sum(self._cell(inst.cell).input_capacitance
+                   for inst, _pin in netlist.load_pins(net))
         if net in self.wire_specs:
             load += self.wire_specs[net].total_c
         return load
@@ -149,6 +203,18 @@ class StaEngine:
         delay = elmore_delays_line(spec.total_r, spec.total_c, spec.n_segments,
                                    load_c=load_cap)
         return (delay, delay)
+
+    def _arc_delay(self, netlist: GateNetlist, inst: GateInstance, pin: str,
+                   in_net: str, input_rising: bool, in_slew: float,
+                   load: float) -> tuple[float, float, bool]:
+        """Evaluate one cell arc: ``(delay, output_slew, output_rising)``.
+
+        The single overridable seam of the engine — subclasses (e.g. the
+        SDF back-annotated engine) replace the NLDM lookup while keeping
+        the per-arc propagation, required-time and tracing machinery.
+        """
+        arc = self._cell(inst.cell).arc_for(pin)
+        return arc.delay_and_slew(in_slew, load, input_rising=input_rising)
 
     # ------------------------------------------------------------------
     def analyze(
@@ -166,7 +232,8 @@ class StaEngine:
         inputs:
             Primary input specs; unspecified inputs get ``InputSpec()``.
         required_times:
-            Net → required time; defaults to none (slacks unavailable).
+            Net → required time (applied to both edges at that net);
+            defaults to none (slacks unavailable).
 
         Returns
         -------
@@ -184,46 +251,66 @@ class StaEngine:
                 continue
             inst = graph.fanin.get(net)
             require(inst is not None, f"net {net!r} neither input nor driven")
-            entry = self._cell(inst.cell)
-            in_net = inst.input_net
             load = self.net_load(netlist, net)
             wire_delay, wire_tau = self._wire_arc(net, load)
 
             candidates: dict[str, EdgeTiming] = {}
-            for in_edge_name, in_edge in (("rise", result.rise[in_net]),
-                                          ("fall", result.fall[in_net])):
-                delay, out_slew, out_rising = entry.arc.delay_and_slew(
-                    in_edge.slew, load, input_rising=(in_edge_name == "rise"))
-                arrival = in_edge.arrival + delay + wire_delay
-                slew = math.hypot(out_slew, _LN9 * wire_tau)
-                timing = EdgeTiming(arrival=arrival, slew=slew, from_net=in_net)
-                key = "rise" if out_rising else "fall"
-                candidates[key] = timing.later_of(candidates.get(key))
-            # An inverter produces exactly one output edge per input edge,
-            # so both output edges are always populated.
+            records: list[ArcRecord] = []
+            for pin, in_net in inst.inputs:
+                for in_edge_name in ("rise", "fall"):
+                    in_edge = result.edge(in_net, in_edge_name)
+                    delay, out_slew, out_rising = self._arc_delay(
+                        netlist, inst, pin, in_net,
+                        input_rising=(in_edge_name == "rise"),
+                        in_slew=in_edge.slew, load=load)
+                    total_delay = delay + wire_delay
+                    arrival = in_edge.arrival + total_delay
+                    slew = math.hypot(out_slew, _LN9 * wire_tau)
+                    out_edge = "rise" if out_rising else "fall"
+                    timing = EdgeTiming(arrival=arrival, slew=slew,
+                                        from_net=in_net,
+                                        from_edge=in_edge_name,
+                                        from_pin=pin)
+                    candidates[out_edge] = timing.later_of(candidates.get(out_edge))
+                    records.append(ArcRecord(in_net=in_net, in_pin=pin,
+                                             in_edge=in_edge_name,
+                                             out_edge=out_edge,
+                                             delay=total_delay))
+            require("rise" in candidates and "fall" in candidates,
+                    f"net {net!r}: arcs of {inst.cell!r} never produce both "
+                    f"output edges")
             result.rise[net] = candidates["rise"]
             result.fall[net] = candidates["fall"]
+            result.arcs[net] = tuple(records)
 
         if required_times:
-            self._propagate_required(netlist, graph, result, required_times)
+            self._propagate_required(graph, result, required_times)
         return result
 
     # ------------------------------------------------------------------
-    def _propagate_required(self, netlist: GateNetlist, graph: TimingGraph,
-                            result: StaResult, required_times: dict[str, float]) -> None:
-        """Backward-propagate required times (worst edge, min over fanout)."""
-        required = dict(required_times)
+    def _propagate_required(self, graph: TimingGraph, result: StaResult,
+                            required_times: dict[str, float]) -> None:
+        """Backward-propagate required times, per edge, along recorded arcs.
+
+        For every arc (in_net, in_edge) → (net, out_edge) with delay *d*,
+        the input edge must satisfy ``req_in ≤ req_out − d``; each input
+        (net, edge) takes the minimum over all arcs that consume it.
+        Subtracting the *causal* edge's arc delay — rather than the gap
+        between output arrival and the max input arrival — is what keeps
+        slacks exact when rise/fall arrivals are asymmetric.
+        """
+        req = {"rise": dict(required_times), "fall": dict(required_times)}
         for net in reversed(graph.levels()):
-            if net not in required:
-                continue
-            inst = graph.fanin.get(net)
-            if inst is None:
-                continue
-            in_net = inst.input_net
-            # Stage delay actually used on the worst path at this net.
-            _, out_timing = result.worst_edge(net)
-            in_arrival = max(result.rise[in_net].arrival, result.fall[in_net].arrival)
-            stage_delay = out_timing.arrival - in_arrival
-            req_in = required[net] - stage_delay
-            required[in_net] = min(required.get(in_net, math.inf), req_in)
-        result.required.update(required)
+            for rec in result.arcs.get(net, ()):
+                out_req = req[rec.out_edge].get(net)
+                if out_req is None:
+                    continue
+                cand = out_req - rec.delay
+                cur = req[rec.in_edge].get(rec.in_net, math.inf)
+                if cand < cur:
+                    req[rec.in_edge][rec.in_net] = cand
+        result.required_rise.update(req["rise"])
+        result.required_fall.update(req["fall"])
+        for net in set(req["rise"]) | set(req["fall"]):
+            result.required[net] = min(
+                req["rise"].get(net, math.inf), req["fall"].get(net, math.inf))

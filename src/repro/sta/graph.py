@@ -1,10 +1,10 @@
 """Timing graph construction and levelisation.
 
 The STA engine works on a DAG whose vertices are *timing points* (net,
-pin) and whose edges are either cell arcs (gate input → gate output) or
-net arcs (driver output → load input, carrying wire delay).  For the
-inverter library every gate contributes one cell arc; nets fan out to any
-number of load pins.
+pin) and whose edges are either cell arcs (gate input pin → gate output)
+or net arcs (driver output → load input, carrying wire delay).  A
+multi-input cell contributes one cell arc per input pin; nets fan out to
+any number of load pins.
 
 Levelisation is Kahn's algorithm; cycles raise immediately (combinational
 timing graphs must be acyclic).
@@ -29,13 +29,15 @@ class TimingGraph:
     """Net-level timing DAG of a gate netlist.
 
     Vertices are net names.  ``fanin[net]`` is the driving instance (if
-    any); ``fanout[net]`` lists the instances the net feeds.  Use
-    :meth:`levels` for a topological ordering of nets.
+    any); ``fanout[net]`` lists ``(instance, pin)`` pairs the net feeds —
+    one entry per connected input pin, so a cell listening on two pins of
+    the same net appears twice.  Use :meth:`levels` for a topological
+    ordering of nets.
     """
 
     netlist: GateNetlist
     fanin: dict[str, GateInstance] = field(default_factory=dict)
-    fanout: dict[str, list[GateInstance]] = field(default_factory=dict)
+    fanout: dict[str, list[tuple[GateInstance, str]]] = field(default_factory=dict)
 
     @classmethod
     def build(cls, netlist: GateNetlist) -> "TimingGraph":
@@ -46,7 +48,8 @@ class TimingGraph:
             require(inst.output_net not in graph.fanin,
                     f"net {inst.output_net!r} multiply driven")
             graph.fanin[inst.output_net] = inst
-            graph.fanout.setdefault(inst.input_net, []).append(inst)
+            for pin, in_net in inst.inputs:
+                graph.fanout.setdefault(in_net, []).append((inst, pin))
         return graph
 
     # ------------------------------------------------------------------
@@ -58,9 +61,12 @@ class TimingGraph:
         TimingGraphError
             If the graph contains a combinational cycle.
         """
+        # A driven net becomes ready once ALL of its driver's input nets
+        # are ordered; count distinct predecessor nets, not pins.
         indeg: dict[str, int] = {}
         for net in self.netlist.nets:
-            indeg[net] = 1 if net in self.fanin else 0
+            inst = self.fanin.get(net)
+            indeg[net] = len(set(inst.input_nets)) if inst is not None else 0
         ready = [net for net, d in indeg.items() if d == 0]
         for net in ready:
             if net not in self.netlist.primary_inputs and self.fanout.get(net):
@@ -70,7 +76,11 @@ class TimingGraph:
         while queue:
             net = queue.pop(0)
             order.append(net)
-            for inst in self.fanout.get(net, []):
+            released: set[str] = set()
+            for inst, _pin in self.fanout.get(net, []):
+                if inst.output_net in released:
+                    continue  # same net on several pins: release once
+                released.add(inst.output_net)
                 indeg[inst.output_net] -= 1
                 if indeg[inst.output_net] == 0:
                     queue.append(inst.output_net)
@@ -80,11 +90,13 @@ class TimingGraph:
         return order
 
     def depth_of(self, net: str) -> int:
-        """Logic depth (number of gate stages) from primary inputs to ``net``."""
+        """Logic depth (max gate stages) from primary inputs to ``net``."""
         depth: dict[str, int] = {}
         for n in self.levels():
-            if n in self.fanin:
-                depth[n] = depth.get(self.fanin[n].input_net, 0) + 1
+            inst = self.fanin.get(n)
+            if inst is not None:
+                depth[n] = 1 + max(depth.get(in_net, 0)
+                                   for in_net in inst.input_nets)
             else:
                 depth[n] = 0
         require(net in depth, f"unknown net {net!r}")
@@ -99,6 +111,7 @@ class TimingGraph:
             if n in keep:
                 continue
             keep.add(n)
-            if n in self.fanin:
-                stack.append(self.fanin[n].input_net)
+            inst = self.fanin.get(n)
+            if inst is not None:
+                stack.extend(inst.input_nets)
         return [n for n in self.levels() if n in keep]

@@ -1,20 +1,22 @@
 """Gate-level netlists for the STA engine.
 
 A :class:`GateNetlist` is a flat graph of cell instances connected by
-named nets, with designated primary inputs and outputs.  Cells come from
-the characterised library (:mod:`repro.library`); this reproduction's
-library is inverters, so instances are single-input/single-output, but the
-netlist model (named pins, per-instance cell reference) is the general
-one used by timing engines.
+named nets, with designated primary inputs and outputs.  Instances carry
+*named input pins* — ``(pin, net)`` pairs in declaration order — so
+multi-input cells (NAND2, AOI …) are first-class citizens of the timing
+model: every (related input pin → output) pair is a separate timing arc,
+and the engine propagates per arc rather than assuming one fanin.
 
-A tiny structural-Verilog-subset parser is provided for convenience
-(module / input / output / wire declarations and cell instantiations with
-named port connections), so realistic netlists can be written as text.
+Netlists are built programmatically (:meth:`GateNetlist.add_instance`)
+or read from text: :func:`parse_structural_verilog` accepts the
+structural-Verilog subset (it delegates to the tokenizer-based reader in
+:mod:`repro.sta.verilog`, which rejects vector and escaped identifiers
+with clear :class:`NetlistError`\\ s instead of registering garbage
+nets).
 """
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass, field
 
 from .._util import require
@@ -26,6 +28,26 @@ class NetlistError(ValueError):
     """Raised on malformed netlists."""
 
 
+def _normalize_inputs(inputs) -> tuple[tuple[str, str], ...]:
+    """Canonicalise an input-connection spec into ``((pin, net), ...)``.
+
+    Accepts a single net name (connected to pin ``A``, the single-input
+    convention of this library), a mapping ``{pin: net}``, or an
+    iterable of ``(pin, net)`` pairs.
+    """
+    if isinstance(inputs, str):
+        return (("A", inputs),)
+    if isinstance(inputs, dict):
+        pairs = tuple((str(p), str(n)) for p, n in inputs.items())
+    else:
+        pairs = tuple((str(p), str(n)) for p, n in inputs)
+    require(len(pairs) >= 1, "instance needs at least one input connection")
+    pins = [p for p, _ in pairs]
+    require(len(set(pins)) == len(pins),
+            f"duplicate input pin in {pins}")
+    return pairs
+
+
 @dataclass(frozen=True)
 class GateInstance:
     """One placed cell.
@@ -35,15 +57,47 @@ class GateInstance:
     name:
         Instance name (unique).
     cell:
-        Library cell name, e.g. ``"INVX4"``.
-    input_net / output_net:
-        Connected net names (pin A and pin Y of the inverter library).
+        Library cell name, e.g. ``"INVX4"`` or ``"NAND2X1"``.
+    inputs:
+        ``(pin, net)`` pairs in declaration order; one entry per input
+        pin of the cell.
+    output_net:
+        Net driven by the output pin.
+    output_pin:
+        Name of the output pin (``"Y"`` by convention).
     """
 
     name: str
     cell: str
-    input_net: str
+    inputs: tuple[tuple[str, str], ...]
     output_net: str
+    output_pin: str = "Y"
+
+    @property
+    def input_nets(self) -> tuple[str, ...]:
+        """Connected input nets, in pin declaration order."""
+        return tuple(net for _, net in self.inputs)
+
+    @property
+    def input_pins(self) -> tuple[str, ...]:
+        """Input pin names, in declaration order."""
+        return tuple(pin for pin, _ in self.inputs)
+
+    @property
+    def input_net(self) -> str:
+        """The single input net (single-input cells only)."""
+        require(len(self.inputs) == 1,
+                f"instance {self.name!r} has {len(self.inputs)} input pins; "
+                f"use .inputs for multi-input cells")
+        return self.inputs[0][1]
+
+    def net_of(self, pin: str) -> str:
+        """Net connected to input ``pin``."""
+        for p, net in self.inputs:
+            if p == pin:
+                return net
+        raise KeyError(f"instance {self.name!r} has no input pin {pin!r} "
+                       f"(have {list(self.input_pins)})")
 
 
 @dataclass
@@ -59,13 +113,18 @@ class GateNetlist:
     primary_outputs: list[str] = field(default_factory=list)
     instances: list[GateInstance] = field(default_factory=list)
 
-    def add_instance(self, name: str, cell: str, input_net: str, output_net: str
-                     ) -> GateInstance:
-        """Add a gate instance and return it."""
+    def add_instance(self, name: str, cell: str, inputs, output_net: str,
+                     output_pin: str = "Y") -> GateInstance:
+        """Add a gate instance and return it.
+
+        ``inputs`` is a net name (single-input cells, pin ``A``), a
+        ``{pin: net}`` mapping, or ``(pin, net)`` pairs.
+        """
         require(all(i.name != name for i in self.instances),
                 f"duplicate instance name {name!r}")
-        inst = GateInstance(name=name, cell=cell, input_net=input_net,
-                            output_net=output_net)
+        inst = GateInstance(name=name, cell=cell,
+                            inputs=_normalize_inputs(inputs),
+                            output_net=output_net, output_pin=output_pin)
         self.instances.append(inst)
         return inst
 
@@ -90,7 +149,7 @@ class GateNetlist:
                 seen.append(net)
                 seen_set.add(net)
         for inst in self.instances:
-            for net in (inst.input_net, inst.output_net):
+            for net in (*inst.input_nets, inst.output_net):
                 if net not in seen_set:
                     seen.append(net)
                     seen_set.add(net)
@@ -104,12 +163,21 @@ class GateNetlist:
         return None
 
     def loads_of(self, net: str) -> list[GateInstance]:
-        """Instances whose input connects to ``net``."""
-        return [inst for inst in self.instances if inst.input_net == net]
+        """Instances with an input on ``net`` (once per connected pin)."""
+        return [inst for inst, _ in self.load_pins(net)]
+
+    def load_pins(self, net: str) -> list[tuple[GateInstance, str]]:
+        """``(instance, pin)`` pairs of every gate input on ``net``."""
+        pairs: list[tuple[GateInstance, str]] = []
+        for inst in self.instances:
+            for pin, in_net in inst.inputs:
+                if in_net == net:
+                    pairs.append((inst, pin))
+        return pairs
 
     def fanout_count(self, net: str) -> int:
-        """Number of gate inputs on ``net``."""
-        return len(self.loads_of(net))
+        """Number of gate input pins on ``net``."""
+        return len(self.load_pins(net))
 
     def validate(self) -> None:
         """Check structural sanity.
@@ -129,10 +197,11 @@ class GateNetlist:
             if net in self.primary_inputs:
                 raise NetlistError(f"primary input {net!r} is also driven by {who[0]}")
         for inst in self.instances:
-            if inst.input_net not in self.primary_inputs and inst.input_net not in drivers:
-                raise NetlistError(
-                    f"instance {inst.name!r} input net {inst.input_net!r} is undriven"
-                )
+            for pin, in_net in inst.inputs:
+                if in_net not in self.primary_inputs and in_net not in drivers:
+                    raise NetlistError(
+                        f"instance {inst.name!r} input {pin}({in_net!r}) is undriven"
+                    )
         for net in self.primary_outputs:
             if net not in drivers and net not in self.primary_inputs:
                 raise NetlistError(f"primary output {net!r} is undriven")
@@ -149,63 +218,13 @@ class GateNetlist:
         return net
 
 
-# ----------------------------------------------------------------------
-# Structural Verilog subset
-# ----------------------------------------------------------------------
-_MODULE_RE = re.compile(r"module\s+(\w+)\s*\(([^)]*)\)\s*;", re.DOTALL)
-_DECL_RE = re.compile(r"(input|output|wire)\s+([^;]+);")
-_INST_RE = re.compile(r"(\w+)\s+(\w+)\s*\(([^;]+)\)\s*;")
-_PORT_RE = re.compile(r"\.(\w+)\s*\(\s*(\w+)\s*\)")
-
-
 def parse_structural_verilog(text: str) -> GateNetlist:
     """Parse a structural-Verilog subset into a :class:`GateNetlist`.
 
-    Supported: one module; ``input`` / ``output`` / ``wire`` declarations
-    (comma-separated); instantiations with named ports ``.A(net)`` /
-    ``.Y(net)``.  Comments (``//`` and ``/* */``) are stripped.
-
-    Raises
-    ------
-    NetlistError
-        On anything outside the subset.
+    Delegates to :func:`repro.sta.verilog.read_verilog` — the
+    tokenizer-based reader that supports multi-port instances with named
+    connections and rejects vector declarations, escaped identifiers and
+    unsupported statements with clear :class:`NetlistError`\\ s.
     """
-    text = re.sub(r"//[^\n]*", "", text)
-    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
-    m = _MODULE_RE.search(text)
-    if m is None:
-        raise NetlistError("no module declaration found")
-    netlist = GateNetlist(name=m.group(1))
-    body = text[m.end():]
-    end = body.find("endmodule")
-    if end < 0:
-        raise NetlistError("missing endmodule")
-    body = body[:end]
-
-    consumed: list[tuple[int, int]] = []
-    for dm in _DECL_RE.finditer(body):
-        kind = dm.group(1)
-        nets = [n.strip() for n in dm.group(2).split(",") if n.strip()]
-        for net in nets:
-            if kind == "input":
-                netlist.add_input(net)
-            elif kind == "output":
-                netlist.add_output(net)
-            # wires need no registration; nets are implicit
-        consumed.append(dm.span())
-
-    for im in _INST_RE.finditer(body):
-        if any(a <= im.start() < b for a, b in consumed):
-            continue
-        cell, inst_name, ports = im.group(1), im.group(2), im.group(3)
-        if cell in ("input", "output", "wire"):
-            continue
-        conns = dict(_PORT_RE.findall(ports))
-        if "A" not in conns or "Y" not in conns:
-            raise NetlistError(
-                f"instance {inst_name!r}: need named ports .A(...) and .Y(...)"
-            )
-        netlist.add_instance(inst_name, cell, conns["A"], conns["Y"])
-
-    netlist.validate()
-    return netlist
+    from .verilog import read_verilog
+    return read_verilog(text)

@@ -314,6 +314,7 @@ def propagate_path(
     solver_backend: str = "auto",
     adaptive: bool | None = None,
     execution: ExecutionConfig | None = None,
+    window_end: float | None = None,
 ) -> list[StageTiming]:
     """Propagate timing through a chain of (possibly coupled) stages.
 
@@ -360,6 +361,13 @@ def propagate_path(
         result store, re-propagating a path (another technique, another
         run) re-simulates nothing that was already solved.  ``None``
         uses the environment defaults.
+    window_end:
+        Optional floor on every stage's simulation-window end.  The
+        window normally tracks the stimulus and aggressor alignments —
+        which makes the quiet-reference cache/store key depend on them.
+        A Monte-Carlo sweep that jitters alignments pins ``window_end``
+        to a common value covering all samples, so the quiet reference
+        (and its store entry) is shared across the whole sweep.
 
     Returns
     -------
@@ -387,6 +395,8 @@ def propagate_path(
         # The aggressor windows may extend past the victim stimulus.
         for agg in stage.aggressors:
             t1 = max(t1, agg.transition_start + agg.slew / 0.8 + settle_margin)
+        if window_end is not None:
+            t1 = max(t1, window_end)
 
         circuit, _, far, out = _build_stage_circuit(stage, vdd)
         if wave_in.t_end < t1:

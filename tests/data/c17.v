@@ -1,0 +1,13 @@
+// ISCAS-85 c17 benchmark, mapped to NAND2X1.
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  NAND2X1 u10 (.A(N1),  .B(N3),  .Y(N10));
+  NAND2X1 u11 (.A(N3),  .B(N6),  .Y(N11));
+  NAND2X1 u16 (.A(N2),  .B(N11), .Y(N16));
+  NAND2X1 u19 (.A(N11), .B(N7),  .Y(N19));
+  NAND2X1 u22 (.A(N10), .B(N16), .Y(N22));
+  NAND2X1 u23 (.A(N16), .B(N19), .Y(N23));
+endmodule

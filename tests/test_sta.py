@@ -43,6 +43,31 @@ def stub_library():
     return {f"INVX{d}": _stub_cell(d) for d in (1, 4, 16, 64)}
 
 
+# ----------------------------------------------------------------------
+# Constant-delay cells (no slew/load dependence): arrivals are exact
+# longest-path sums, so required times and slacks are hand-computable.
+# ----------------------------------------------------------------------
+def _const_arc(rise: float, fall: float, related_pin: str = "A",
+               inverting: bool = True, tran: float = 50e-12) -> TimingArc:
+    slews = np.array([10e-12, 400e-12])
+    loads = np.array([1e-15, 100e-15])
+    def const(v):
+        return NldmTable(slews, loads, np.full((2, 2), v))
+    return TimingArc(related_pin=related_pin, output_pin="Y",
+                     inverting=inverting,
+                     cell_rise=const(rise), cell_fall=const(fall),
+                     rise_transition=const(tran), fall_transition=const(tran))
+
+
+def _const_cell(rise: float, fall: float, inverting: bool = True,
+                arcs: "tuple[TimingArc, ...]" = ()) -> CharacterizedCell:
+    first = arcs[0] if arcs else _const_arc(rise, fall, inverting=inverting)
+    return CharacterizedCell(cell=make_inverter(1), arc=first,
+                             input_slews=first.cell_rise.input_slews,
+                             loads=first.cell_rise.loads,
+                             arcs=arcs if len(arcs) > 1 else ())
+
+
 class TestGateNetlist:
     def test_chain_constructor(self):
         net = GateNetlist.inverter_chain([1, 4, 16])
@@ -111,6 +136,39 @@ class TestVerilogParser:
         src = "module m (a, y); input a; output y; INVX1 u0 (a, y); endmodule"
         with pytest.raises(NetlistError, match="named ports"):
             parse_structural_verilog(src)
+
+    def test_decl_keyword_not_matched_inside_identifier(self):
+        # Regression: the old decl regex had no word boundary, so the
+        # instance of a cell named ``winput`` was read as an input
+        # declaration of net ``y``.
+        src = """
+        module m (a, y);
+          input a; output y;
+          winput u0 (.A(a), .Y(y));
+        endmodule
+        """
+        net = parse_structural_verilog(src)
+        assert net.primary_inputs == ["a"]
+        assert [i.cell for i in net.instances] == ["winput"]
+
+    def test_vector_declarations_rejected(self):
+        src = "module m (a, y); input [3:0] a; output y; endmodule"
+        with pytest.raises(NetlistError, match="[Vv]ector"):
+            parse_structural_verilog(src)
+
+    def test_multi_port_instance(self):
+        src = """
+        module m (a, b, y);
+          input a, b; output y; wire w;
+          NAND2X1 u0 (.A(a), .B(b), .Y(w));
+          INVX1 u1 (.A(w), .Y(y));
+        endmodule
+        """
+        net = parse_structural_verilog(src)
+        u0 = net.instances[0]
+        assert dict(u0.inputs) == {"A": "a", "B": "b"}
+        assert u0.output_net == "w"
+        assert u0.output_pin == "Y"
 
 
 class TestTimingGraph:
@@ -209,6 +267,170 @@ class TestStaAnalysis:
         net.add_output("y")
         with pytest.raises(KeyError, match="NAND2X1"):
             StaEngine(stub_library).analyze(net)
+
+
+class TestRequiredTimePropagation:
+    """Regression: required times must subtract the *causal* edge's arc
+    delay, not the gap between output arrival and the max input arrival.
+
+    Chain: n0 -> INV_A (rise 50ps / fall 10ps) -> n1 -> INV_B
+    (rise 100ps / fall 10ps) -> n2, required(n2) = 120ps.
+
+    Hand computation (constant tables, so arrivals are exact sums):
+      n1: rise 50ps (caused by n0 fall), fall 10ps (caused by n0 rise)
+      n2: rise 110ps (caused by n1 fall), fall 60ps (caused by n1 rise)
+      req_rise(n1) = req_fall(n2) - 10ps = 110ps  -> slack 60ps
+      req_fall(n1) = req_rise(n2) - 100ps = 20ps  -> slack 10ps
+      required(n1) = min = 20ps
+
+    The old backward pass subtracted ``arrival(n2,worst) - max(arrival
+    rise/fall at n1)`` = 110 - 50 = 60ps and reported required(n1) =
+    60ps — matching *neither* edge (off by 40ps against the causal fall
+    edge) — so these asserts fail on the pre-fix code.
+    """
+
+    @pytest.fixture()
+    def result(self):
+        lib = {"INV_A": _const_cell(50e-12, 10e-12),
+               "INV_B": _const_cell(100e-12, 10e-12)}
+        net = GateNetlist()
+        net.add_input("n0")
+        net.add_instance("u0", "INV_A", "n0", "n1")
+        net.add_instance("u1", "INV_B", "n1", "n2")
+        net.add_output("n2")
+        return StaEngine(lib).analyze(
+            net, inputs={"n0": InputSpec(slew=50e-12)},
+            required_times={"n2": 120e-12})
+
+    def test_asymmetric_arrivals(self, result):
+        assert result.rise["n1"].arrival == pytest.approx(50e-12, rel=1e-9)
+        assert result.fall["n1"].arrival == pytest.approx(10e-12, rel=1e-9)
+        assert result.rise["n2"].arrival == pytest.approx(110e-12, rel=1e-9)
+        assert result.fall["n2"].arrival == pytest.approx(60e-12, rel=1e-9)
+
+    def test_per_edge_required_times(self, result):
+        assert result.required_rise["n1"] == pytest.approx(110e-12, rel=1e-9)
+        assert result.required_fall["n1"] == pytest.approx(20e-12, rel=1e-9)
+
+    def test_summary_required_is_min_over_edges(self, result):
+        # Pre-fix value was 60ps (gap to the max input arrival).
+        assert result.required["n1"] == pytest.approx(20e-12, rel=1e-9)
+
+    def test_hand_computed_slacks(self, result):
+        assert result.slack_edge("n1", "rise") == pytest.approx(60e-12, rel=1e-9)
+        assert result.slack_edge("n1", "fall") == pytest.approx(10e-12, rel=1e-9)
+        assert result.slack("n1") == pytest.approx(10e-12, rel=1e-9)
+        assert result.worst_slack() == pytest.approx(10e-12, rel=1e-9)
+
+    def test_required_reaches_primary_input(self, result):
+        # req_rise(n0) = req_fall(n1) - 10ps; req_fall(n0) = req_rise(n1) - 50ps.
+        assert result.required_rise["n0"] == pytest.approx(10e-12, rel=1e-9)
+        assert result.required_fall["n0"] == pytest.approx(60e-12, rel=1e-9)
+        assert result.required["n0"] == pytest.approx(10e-12, rel=1e-9)
+
+
+class TestCriticalPathEdges:
+    """Regression: path tracing follows the recorded causal ``from_edge``
+    instead of flipping the edge at every stage (wrong for non-inverting
+    arcs, which ``TimingArc.inverting=False`` already supported)."""
+
+    @pytest.fixture()
+    def result(self):
+        lib = {"INV": _const_cell(50e-12, 10e-12),
+               "BUF": _const_cell(30e-12, 10e-12, inverting=False)}
+        net = GateNetlist()
+        net.add_input("n0")
+        net.add_instance("u0", "INV", "n0", "n1")
+        net.add_instance("u1", "BUF", "n1", "n2")
+        net.add_output("n2")
+        return StaEngine(lib).analyze(net, inputs={"n0": InputSpec()})
+
+    def test_non_inverting_arc_keeps_edge(self, result):
+        # n2 rise (50+30=80ps) is caused by n1 *rise*, not a flipped fall.
+        assert result.rise["n2"].arrival == pytest.approx(80e-12, rel=1e-9)
+        assert result.rise["n2"].from_edge == "rise"
+        assert result.fall["n2"].from_edge == "fall"
+        # The inverter stage does flip: n1 rise is caused by n0 fall.
+        assert result.rise["n1"].from_edge == "fall"
+
+    def test_trace_selected_edge(self, result):
+        assert result.critical_path("n2") == ["n0", "n1", "n2"]
+        assert result.critical_path("n2", edge="fall") == ["n0", "n1", "n2"]
+        # Fall at n2 traces n1 fall (10ps) back to n0 rise.
+        assert result.fall["n2"].arrival == pytest.approx(20e-12, rel=1e-9)
+
+
+class TestMultiInputCells:
+    """Per-arc propagation through a 2-input gate with per-pin delays."""
+
+    @pytest.fixture()
+    def library(self):
+        arc_a = _const_arc(20e-12, 15e-12, related_pin="A")
+        arc_b = _const_arc(40e-12, 35e-12, related_pin="B")
+        nand = CharacterizedCell(cell=make_inverter(1), arc=arc_a,
+                                 input_slews=arc_a.cell_rise.input_slews,
+                                 loads=arc_a.cell_rise.loads,
+                                 arcs=(arc_a, arc_b), input_cap=2e-15)
+        return {"NAND2": nand, "INV": _const_cell(50e-12, 10e-12)}
+
+    def test_worst_arc_wins(self, library):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_instance("u0", "NAND2", {"A": "a", "B": "b"}, "y")
+        net.add_output("y")
+        res = StaEngine(library).analyze(
+            net, inputs={"a": InputSpec(), "b": InputSpec()})
+        # Both inputs at t=0: the slower B arc dominates both edges.
+        assert res.rise["y"].arrival == pytest.approx(40e-12, rel=1e-9)
+        assert res.fall["y"].arrival == pytest.approx(35e-12, rel=1e-9)
+        assert res.rise["y"].from_pin == "B"
+        assert res.rise["y"].from_net == "b"
+
+    def test_late_arrival_switches_pin(self, library):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_instance("u0", "NAND2", {"A": "a", "B": "b"}, "y")
+        net.add_output("y")
+        res = StaEngine(library).analyze(
+            net, inputs={"a": InputSpec(arrival=100e-12), "b": InputSpec()})
+        # A arrives 100ps late: 100+20 beats 0+40 on the rise.
+        assert res.rise["y"].arrival == pytest.approx(120e-12, rel=1e-9)
+        assert res.rise["y"].from_pin == "A"
+        assert res.critical_path("y") == ["a", "y"]
+
+    def test_per_pin_required_times(self, library):
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_instance("u0", "NAND2", {"A": "a", "B": "b"}, "y")
+        net.add_output("y")
+        res = StaEngine(library).analyze(
+            net, inputs={"a": InputSpec(), "b": InputSpec()},
+            required_times={"y": 100e-12})
+        # req_fall(a) = req_rise(y) - 20ps; req_fall(b) = req_rise(y) - 40ps.
+        assert res.required_fall["a"] == pytest.approx(80e-12, rel=1e-9)
+        assert res.required_fall["b"] == pytest.approx(60e-12, rel=1e-9)
+        assert res.required_rise["a"] == pytest.approx(85e-12, rel=1e-9)
+        assert res.required_rise["b"] == pytest.approx(65e-12, rel=1e-9)
+
+    def test_depth_and_levels_with_reconvergence(self, library):
+        # a -> inv -> x; NAND(a, x) -> y : reconvergent fanin.
+        net = GateNetlist()
+        net.add_input("a")
+        net.add_instance("u0", "INV", "a", "x")
+        net.add_instance("u1", "NAND2", {"A": "a", "B": "x"}, "y")
+        net.add_output("y")
+        g = TimingGraph.build(net)
+        order = g.levels()
+        assert order.index("a") < order.index("x") < order.index("y")
+        assert g.depth_of("y") == 2
+        assert g.transitive_fanin_nets("y") == ["a", "x", "y"]
+        res = StaEngine(library).analyze(net, inputs={"a": InputSpec()})
+        # Path through the inverter dominates: x rises at 50ps, the B-pin
+        # fall arc adds 35ps.
+        assert res.arrival("y") == pytest.approx(85e-12, rel=1e-9)
 
 
 class TestNoiseAwarePath:

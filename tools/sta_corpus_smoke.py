@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Smoke test of the design-taking STA front door over the golden corpus.
+
+Three gates, run from the repo root::
+
+    PYTHONPATH=src python tools/sta_corpus_smoke.py
+
+1. **Corpus parse + golden check** — ``tests/data/c17.v`` parses, the
+   NLDM engine (``tests/data/c17.lib``) reproduces every hand-computed
+   arrival/slack in ``tests/data/golden.json`` to float tolerance, and
+   the SDF engine (``tests/data/c17.sdf``) matches at all three corners.
+2. **Determinism** — a seeded 32-sample Monte-Carlo statistical sweep is
+   run serially (1 worker) and sharded (2 workers) and the quantiles
+   must be **bit-for-bit identical**: JSON serialises doubles via
+   ``repr``, which round-trips every finite value, so any deviation
+   means the sharded merge changed the arithmetic.
+3. **Benchmark artifact** — timings and quantiles land in
+   ``BENCH_ssta.json`` (``--out`` to rename) for CI to upload.
+
+Used by CI's ``sta-corpus`` job.  Exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DATA = os.path.join(REPO, "tests", "data")
+MC_SAMPLES = 32
+MC_SEED = 1234
+
+
+def fail(message: str) -> "None":
+    print(f"sta-corpus-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_close(label: str, got: float, want: float, rtol: float = 1e-9) -> None:
+    if not math.isclose(got, want, rel_tol=rtol, abs_tol=1e-18):
+        fail(f"{label}: got {got!r}, want {want!r}")
+
+
+def load_corpus():
+    from repro.library.liberty import parse_liberty
+    from repro.sta import read_sdf, read_verilog
+
+    with open(os.path.join(DATA, "c17.v")) as fh:
+        netlist = read_verilog(fh.read())
+    with open(os.path.join(DATA, "c17.lib")) as fh:
+        library = parse_liberty(fh.read())
+    with open(os.path.join(DATA, "c17.sdf")) as fh:
+        delays = read_sdf(fh.read())
+    with open(os.path.join(DATA, "golden.json")) as fh:
+        golden = json.load(fh)
+    return netlist, library, delays, golden
+
+
+def check_golden(netlist, library, delays, golden) -> None:
+    from repro.sta import InputSpec, SdfEngine, StaEngine
+
+    inputs = {net: InputSpec(slew=50e-12) for net in netlist.primary_inputs}
+    required = {net: golden["required_time"]
+                for net in netlist.primary_outputs}
+
+    result = StaEngine(library).analyze(netlist, inputs=inputs,
+                                        required_times=required)
+    g = golden["nldm"]
+    for net, want in g["arrival_rise"].items():
+        check_close(f"nldm arrival_rise[{net}]", result.rise[net].arrival, want)
+    for net, want in g["arrival_fall"].items():
+        check_close(f"nldm arrival_fall[{net}]", result.fall[net].arrival, want)
+    for net, want in g["slack"].items():
+        check_close(f"nldm slack[{net}]", result.slack(net), want)
+    check_close("nldm required_rise[N16]", result.required_rise["N16"],
+                g["required_rise_N16"])
+    check_close("nldm required_fall[N16]", result.required_fall["N16"],
+                g["required_fall_N16"])
+    if result.critical_path("N22") != g["critical_path_N22"]:
+        fail(f"critical path to N22: {result.critical_path('N22')}")
+
+    g = golden["sdf"]
+    for corner in ("min", "typ", "max"):
+        scale = g["corner_scale"].get(corner, 1.0)
+        engine = SdfEngine(delays, corner=corner, library=library)
+        res = engine.analyze(netlist, inputs=inputs)
+        for net, want in g["arrival_rise"].items():
+            check_close(f"sdf[{corner}] arrival_rise[{net}]",
+                        res.rise[net].arrival, want * scale)
+        for net, want in g["arrival_fall"].items():
+            check_close(f"sdf[{corner}] arrival_fall[{net}]",
+                        res.fall[net].arrival, want * scale)
+    print(f"sta-corpus-smoke: golden corpus OK "
+          f"({netlist.name}: {len(netlist.instances)} instances, "
+          f"3 SDF corners)")
+
+
+def run_mc(netlist, library, workers: int):
+    from repro.exec import ExecutionConfig
+    from repro.sta import InputSpec, run_sta_monte_carlo
+
+    execution = ExecutionConfig(workers=workers, min_pool_jobs=2)
+    inputs = {net: InputSpec(slew=50e-12) for net in netlist.primary_inputs}
+    required = {net: 100e-12 for net in netlist.primary_outputs}
+    t0 = time.perf_counter()
+    result = run_sta_monte_carlo(netlist, library, inputs=inputs,
+                                 required_times=required,
+                                 samples=MC_SAMPLES, seed=MC_SEED,
+                                 execution=execution)
+    return result, time.perf_counter() - t0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_ssta.json",
+                        help="benchmark artifact path (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    netlist, library, delays, golden = load_corpus()
+    check_golden(netlist, library, delays, golden)
+
+    serial, t_serial = run_mc(netlist, library, workers=1)
+    sharded, t_sharded = run_mc(netlist, library, workers=2)
+    blob_serial = json.dumps(serial.quantiles, sort_keys=True)
+    blob_sharded = json.dumps(sharded.quantiles, sort_keys=True)
+    if blob_serial != blob_sharded:
+        fail("sharded MC quantiles differ from serial:\n"
+             f"  serial : {blob_serial}\n  sharded: {blob_sharded}")
+    if serial.diag.get("mode") != "serial":
+        fail(f"1-worker run used mode {serial.diag.get('mode')!r}")
+    if sharded.diag.get("fallback_shards", 0) not in (0,):
+        print(f"sta-corpus-smoke: note: sharded run fell back on "
+              f"{sharded.diag['fallback_shards']} shard(s)")
+    print(f"sta-corpus-smoke: {MC_SAMPLES}-sample MC quantiles bit-identical "
+          f"across 1 and 2 workers (serial {t_serial:.2f}s, "
+          f"sharded {t_sharded:.2f}s, mode {sharded.diag.get('mode')})")
+
+    payload = {
+        "design": netlist.name,
+        "samples": MC_SAMPLES,
+        "seed": MC_SEED,
+        "quantiles": serial.quantiles,
+        "seconds": {"serial": t_serial, "sharded": t_sharded},
+        "sharded_diag": sharded.diag,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"sta-corpus-smoke: wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
