@@ -143,6 +143,16 @@ KNOBS: dict[str, Knob] = {k.name: k for k in (
          "base seed of the statistical STA sample streams "
          "(per-sample streams are derived, so results are "
          "worker-count-independent)", "`0`"),
+    Knob("REPRO_FAULTS", _string, "",
+         "seeded fault-injection plan for the chaos harness "
+         "(`seed=S;point=kind[:p=..][:n=..][:after=..][:arg=..];…` — "
+         "see `repro.faults`); an invalid spec warns and injects "
+         "nothing", "unset (off)"),
+    Knob("REPRO_JOURNAL", _flag, False,
+         "write-ahead run journal under the store root: long sweeps "
+         "record completed samples and a rerun after `kill -9` resumes "
+         "at the first unfinished one (needs `REPRO_STORE`)",
+         "unset (off)"),
 )}
 
 

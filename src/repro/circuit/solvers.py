@@ -71,6 +71,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .._util import require
+from ..faults import maybe_fault
 
 try:  # SciPy is optional; every structured backend degrades to dense LU.
     from scipy.linalg import LinAlgWarning as _LinAlgWarning
@@ -445,8 +446,13 @@ class PatternFrozenLu:
 
         Returns a SuperLU object (``.solve(rhs)``); raises
         :class:`numpy.linalg.LinAlgError` on a singular matrix (SuperLU
-        signals it as ``RuntimeError``).
+        signals it as ``RuntimeError``).  The ``solver.refactor``
+        injection point forces that singular path, driving the stacked
+        Newton engine down its backend ladder exactly as a numerically
+        singular iterate would.
         """
+        if maybe_fault("solver.refactor") is not None:
+            raise np.linalg.LinAlgError("injected singular refactorization")
         a = _csc_matrix((data, self._indices, self._indptr),
                         shape=self._shape)
         try:

@@ -15,15 +15,20 @@ batched engine (PR 1) and the structured solver backends (PR 2):
   runs near-free;
 * :mod:`repro.exec.config` — :class:`ExecutionConfig`, the single object
   the experiment drivers thread both layers through, with
-  ``REPRO_WORKERS`` / ``REPRO_STORE`` environment defaults.
+  ``REPRO_WORKERS`` / ``REPRO_STORE`` environment defaults;
+* :mod:`repro.exec.journal` — :class:`RunJournal`, a write-ahead journal
+  of completed sweep samples under the store root, so a killed
+  Monte-Carlo run resumes at the first unfinished sample with
+  bit-identical output (``REPRO_JOURNAL``).
 """
 
 from .config import (ExecutionConfig, default_execution,
                      set_default_execution, store_max_bytes)
+from .journal import RunJournal, journal_for
 from .pool import (fleet_stats, job_cost, make_shards, reset_fleet_stats,
                    run_indexed, run_jobs)
 from .store import (STORE_VERSION, DcStoreMemo, ResultStore,
-                    UnkeyableJobError, dc_key, job_key)
+                    UnkeyableJobError, content_key, dc_key, job_key)
 
 __all__ = [
     "ExecutionConfig",
@@ -40,6 +45,9 @@ __all__ = [
     "DcStoreMemo",
     "job_key",
     "dc_key",
+    "content_key",
     "UnkeyableJobError",
     "STORE_VERSION",
+    "RunJournal",
+    "journal_for",
 ]

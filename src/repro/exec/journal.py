@@ -1,0 +1,216 @@
+"""Write-ahead run journal: crash-safe resumable sweeps.
+
+A 1000-sample Monte-Carlo sweep killed at sample 900 used to restart
+from zero — the result store only helps when the per-sample work is
+itself storable (transient jobs), not when the samples are cheap
+engine runs whose *aggregate* is the expensive thing.  The journal
+closes that gap at the sweep level:
+
+* the run is **content-keyed** (:func:`repro.exec.store.content_key`
+  over everything that determines the results — design, variation,
+  seed, sample count), so a resumed run can only ever splice records
+  from an identical run;
+* each completed sample appends one JSON line ``{"i": idx, "row": …}``
+  to ``<store root>/journal/<run key>.jsonl`` via a single ``O_APPEND``
+  write — atomic enough that concurrent worker processes interleave
+  whole lines, and a ``kill -9`` can tear at most the final line;
+* on rerun, completed indices are replayed from the journal and only
+  the missing ones are computed — and because ``json`` round-trips
+  every finite IEEE-754 double exactly (``repr``-based), the resumed
+  sweep's final quantiles are *byte-identical* to an uninterrupted
+  run's;
+* a sweep that completes deletes its journal (the durable artifact is
+  the result, not the log).
+
+Enabled by the ``REPRO_JOURNAL`` knob (or an explicit ``journal=``
+argument on the sweep drivers); requires a configured result store for
+the root directory.  Torn tails, stale headers and foreign files all
+degrade to "start fresh", never to an exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from .._knobs import knob
+from .config import ExecutionConfig, default_execution
+from .store import UnkeyableJobError, content_key
+
+__all__ = ["RunJournal", "journal_for"]
+
+#: Bumped on incompatible journal-line format changes; carried in the
+#: header line so stale journals discard themselves.
+JOURNAL_VERSION = 1
+
+
+def _json_default(obj):
+    """Encode the numpy scalars/arrays sweep rows may carry.
+
+    ``float(np.float64(x))`` is the same IEEE-754 double, so this
+    normalisation cannot perturb the replayed values.
+    """
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"row value of type {type(obj).__qualname__!r} "
+                    f"is not journalable")
+
+
+class RunJournal:
+    """One run's append-only journal of completed-index records.
+
+    Construct through :meth:`open` (which replays any compatible
+    existing file) or :func:`journal_for` (which also resolves the
+    knob/store gating).  Instances pickle without their file handle, so
+    a ``functools.partial`` over :meth:`record` can cross into pool
+    workers — each process appends through its own descriptor.
+    """
+
+    def __init__(self, path: Path, run_key: str, total: int):
+        self.path = Path(path)
+        self.run_key = str(run_key)
+        self.total = int(total)
+        self._completed: dict[int, object] = {}
+        self._fd: "int | None" = None
+
+    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def open(cls, root: "str | os.PathLike", run_key: str,
+             total: int) -> "RunJournal":
+        """The journal for ``run_key`` under ``root``, replaying any
+        compatible existing file (stale or torn content starts fresh)."""
+        journal = cls(Path(root) / f"{run_key}.jsonl", run_key, total)
+        journal._replay()
+        return journal
+
+    def _header(self) -> dict:
+        return {"journal": JOURNAL_VERSION, "run": self.run_key,
+                "total": self.total}
+
+    def _replay(self) -> None:
+        """Load completed records from an existing file, if compatible."""
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        lines = raw.split(b"\n")
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if header != self._header():
+            # A different run, format version, or total: records cannot
+            # be spliced safely — discard and start fresh.
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+            return
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a killed writer
+            if isinstance(obj, dict) and isinstance(obj.get("i"), int) \
+                    and 0 <= obj["i"] < self.total and "row" in obj:
+                self._completed[obj["i"]] = obj["row"]
+
+    def _ensure_fd(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists()
+            self._fd = os.open(self.path,
+                               os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            if fresh:
+                os.write(self._fd,
+                         json.dumps(self._header(),
+                                    separators=(",", ":")).encode() + b"\n")
+        return self._fd
+
+    # -- recording / replay --------------------------------------------
+    def completed(self) -> dict[int, object]:
+        """Replayed ``index -> row`` records (a copy)."""
+        return dict(self._completed)
+
+    def record(self, index: int, row) -> None:
+        """Append one completed-index record (one atomic ``write``)."""
+        line = json.dumps({"i": int(index), "row": row},
+                          separators=(",", ":"), allow_nan=True,
+                          default=_json_default).encode("utf-8") + b"\n"
+        os.write(self._ensure_fd(), line)
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def finish(self) -> None:
+        """The run completed: the journal has served its purpose."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    # -- pickling (journals cross into pool workers) --------------------
+    def __getstate__(self) -> dict:
+        # Workers only append; the replayed records and the open
+        # descriptor stay with the parent.
+        return {"path": self.path, "run_key": self.run_key,
+                "total": self.total}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self.run_key = state["run_key"]
+        self.total = state["total"]
+        self._completed = {}
+        self._fd = None
+
+
+def journal_for(label: str, payload, total: int,
+                execution: "ExecutionConfig | None" = None,
+                enabled: "bool | None" = None) -> "RunJournal | None":
+    """The run journal for a sweep, or ``None`` when journaling is off.
+
+    ``enabled=None`` follows the ``REPRO_JOURNAL`` knob.  Journaling
+    needs a configured result store (for the root directory) and a
+    canonically hashable run ``payload`` (for the run key); either
+    missing degrades to no journal with one warning — a sweep must
+    never fail because its safety net is unavailable.
+    """
+    on = knob("REPRO_JOURNAL") if enabled is None else bool(enabled)
+    if not on:
+        return None
+    cfg = execution if execution is not None else default_execution()
+    if cfg.store is None:
+        warnings.warn(
+            "run journaling requested but no result store is configured "
+            "(set REPRO_STORE); continuing without crash-safe resume",
+            RuntimeWarning, stacklevel=2)
+        return None
+    try:
+        run_key = content_key(f"journal-{label}", payload)
+    except UnkeyableJobError as exc:
+        warnings.warn(
+            f"run journaling disabled for this sweep (no canonical run "
+            f"key: {exc}); continuing without crash-safe resume",
+            RuntimeWarning, stacklevel=2)
+        return None
+    return RunJournal.open(Path(cfg.store.root) / "journal", run_key, total)

@@ -62,14 +62,37 @@ import numpy as np
 from ..circuit.mna import MnaSystem
 from ..circuit.transient import (TransientJob, TransientResult, job_group_key,
                                  simulate_transient_many)
+from ..faults import FaultError, maybe_fault
 from .config import ExecutionConfig, default_execution
 
 __all__ = ["run_jobs", "run_indexed", "make_shards", "job_cost",
            "fleet_stats", "reset_fleet_stats"]
 
 
-def _simulate_shard(jobs: list[TransientJob]) -> list[tuple[np.ndarray, np.ndarray, dict]]:
-    """Worker entry point: solve a shard, return picklable payloads."""
+def _honour_entry_fault(rule) -> None:
+    """Act out an injected worker-entry fault (chaos harness only).
+
+    ``crash`` raises in the worker — the parent sees a dead future and
+    re-solves the shard inline; ``wedge``/``slow`` sleep — a wedge long
+    enough to trip the shard deadline, a slow just perturbing timing.
+    """
+    if rule.kind == "crash":
+        raise FaultError(f"injected {rule.point} crash")
+    time.sleep(rule.delay())
+
+
+def _simulate_shard(jobs: list[TransientJob],
+                    fault_token: "int | None" = None) -> list[tuple[np.ndarray, np.ndarray, dict]]:
+    """Worker entry point: solve a shard, return picklable payloads.
+
+    ``fault_token`` is the shard index — a stable token, so which shards
+    an injected plan crashes or wedges is predictable from the parent
+    (:func:`repro.faults.would_fire`) even though the fire itself
+    happens (and dies) worker-side.
+    """
+    rule = maybe_fault("pool.worker", fault_token)
+    if rule is not None:
+        _honour_entry_fault(rule)
     results = simulate_transient_many(jobs)
     return [(r.times, r._x, r.stats) for r in results]
 
@@ -215,7 +238,16 @@ def make_shards(indices: Sequence[int], jobs: Sequence[TransientJob],
 
 
 def _run_indexed_chunk(fn, indices: list[int]) -> list:
-    """Worker entry point for :func:`run_indexed`: evaluate one chunk."""
+    """Worker entry point for :func:`run_indexed`: evaluate one chunk.
+
+    The fault token is the chunk's first index — stable for a given
+    ``(count, workers)``, so injected crashes land on predictable
+    chunks.  ``wedge`` is not a declared kind here: ``run_indexed`` has
+    no deadline, so a wedge would hang the run rather than test it.
+    """
+    rule = maybe_fault("pool.indexed", indices[0] if indices else 0)
+    if rule is not None:
+        _honour_entry_fault(rule)
     return [fn(i) for i in indices]
 
 
@@ -408,8 +440,10 @@ def run_jobs(
                 except Exception:
                     # Persistence is an optimisation: a full disk or
                     # revoked permission must degrade to an uncached run,
-                    # never discard hours of completed simulation.
-                    store.write_errors += 1
+                    # never discard hours of completed simulation.  The
+                    # store itself already degrades to miss-only on write
+                    # failure; this belt catches anything it cannot.
+                    store.write_failures += 1
     if diag is not None:
         diag.update(info)
     _accumulate_fleet([results[k] for k in pending], info)
@@ -539,8 +573,8 @@ def _run_sharded(
     abandoned = False
     try:
         futures = [(shard, executor.submit(_simulate_shard,
-                                           [jobs[k] for k in shard]))
-                   for shard in shards]
+                                           [jobs[k] for k in shard], s_idx))
+                   for s_idx, shard in enumerate(shards)]
         # All shards run concurrently (max_workers == len(shards)), so
         # absolute deadlines are measured from one submission instant;
         # waiting for them in submission order costs nothing.

@@ -51,10 +51,13 @@ alongside the quiet-reference cache by
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
+import io
 import os
 import re
 import struct
+import warnings
 from collections.abc import Mapping
 from pathlib import Path
 
@@ -64,9 +67,10 @@ from .._knobs import DEFAULT_STORE_MAX_BYTES
 from .._util import require
 from ..circuit.mna import MnaSystem
 from ..circuit.transient import TransientJob, TransientOptions, TransientResult
+from ..faults import FaultError, maybe_fault
 
 __all__ = ["STORE_VERSION", "KEYED_FIELDS", "NO_KEY", "UnkeyableJobError",
-           "ResultStore", "job_key", "dc_key", "DcStoreMemo"]
+           "ResultStore", "job_key", "dc_key", "content_key", "DcStoreMemo"]
 
 #: Bump when solver numerics change in a way that should invalidate
 #: previously stored waveforms.
@@ -285,6 +289,39 @@ def dc_key(circuit, mna: MnaSystem, at_time: float,
     return h.hexdigest()
 
 
+def content_key(label: str, payload) -> str:
+    """SHA-256 content key of an arbitrary canonical-hashable payload.
+
+    The public face of the store's canonical hashing for consumers that
+    key something other than a transient job — the run journal
+    (:mod:`repro.exec.journal`) keys a whole sweep with it.  Same
+    machinery, same :data:`STORE_VERSION` scoping, same
+    :class:`UnkeyableJobError` on content without a canonical form.
+    """
+    h = hashlib.sha256()
+    _update(h, (str(label), STORE_VERSION))
+    _update(h, payload)
+    return h.hexdigest()
+
+
+def _faulted_write(fault, f, arrays: dict) -> None:
+    """Act out an injected ``store.write`` fault on an open temp file.
+
+    ``partial`` writes half the encoded entry then raises (a torn write
+    the atomic-rename path must clean up); ``enospc`` raises the real
+    ``OSError(ENOSPC)`` a full disk produces.
+    """
+    if fault.kind == "partial":
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        payload = buf.getvalue()
+        f.write(payload[:max(1, len(payload) // 2)])
+        raise OSError("injected partial store write")
+    if fault.kind == "enospc":
+        raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC))
+    np.savez(f, **arrays)
+
+
 # ----------------------------------------------------------------------
 # The store
 # ----------------------------------------------------------------------
@@ -337,7 +374,12 @@ class ResultStore:
         self.evictions = 0
         self.stores = 0
         self.uncacheable = 0
-        self.write_errors = 0
+        self.write_failures = 0
+        # Latched by the first failed write: a store that cannot persist
+        # keeps *serving* (reads still hit) but stops paying for writes
+        # that will fail again — and stops spamming one warning per
+        # entry.  clear() resets it (fresh root, fresh chances).
+        self.miss_only = False
         # DC operating-point entries are counted apart from the transient
         # ones: the warm-run contracts differ ("zero transient solves"
         # vs "zero DC Newton solves") and tests spy them separately.
@@ -399,11 +441,15 @@ class ResultStore:
         if key in self._undeletable:
             return None
         try:
+            if maybe_fault("store.read") is not None:
+                raise FaultError("injected corrupt store entry")
             with np.load(path, allow_pickle=False) as data:
                 value = decode(data)
         except Exception:
             self.corrupt += 1
             try:
+                if maybe_fault("store.unlink") is not None:
+                    raise OSError("injected unlink failure")
                 path.unlink()
             except OSError:
                 # Healing failed (read-only root, concurrent sweeper
@@ -486,12 +532,40 @@ class ResultStore:
                 pass  # entry already evicted/removed: nothing to restore
 
     def store(self, key: str, result: TransientResult) -> None:
-        """Insert a result atomically, then evict LRU entries over budget."""
-        self._write_entry(key, times=result.times, x=result._x)
+        """Insert a result, degrading on write failure (never raising).
+
+        A store that cannot persist — full disk, revoked permission, a
+        vanished mount — must not kill the sweep that just spent hours
+        computing ``result``: the failure is counted in
+        ``write_failures``, warned about exactly once, and the store
+        latches into miss-only mode (lookups keep working; further
+        writes are skipped without touching the disk).
+        """
+        if self.miss_only:
+            return
+        try:
+            self._write_entry(key, times=result.times, x=result._x)
+        except Exception:
+            self.write_failures += 1
+            self._enter_miss_only()
+            return
         self.stores += 1
+
+    def _enter_miss_only(self) -> None:
+        """Latch the write-failure degradation, warning on the first."""
+        if not self.miss_only:
+            self.miss_only = True
+            warnings.warn(
+                f"result store at {self.root} failed to persist an entry; "
+                f"continuing in miss-only mode (lookups still served, "
+                f"further writes skipped; counted in write_failures)",
+                RuntimeWarning, stacklevel=3)
 
     def _write_entry(self, key: str, **arrays: np.ndarray) -> None:
         """Atomic ``.npz`` insert shared by every entry kind."""
+        fault = maybe_fault("store.write")
+        if fault is not None and fault.kind == "fail":
+            raise FaultError("injected store write failure")
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         existing = 0
@@ -503,7 +577,10 @@ class ResultStore:
         tmp = path.with_name(f".{key}.{os.getpid()}.tmp")
         try:
             with open(tmp, "wb") as f:
-                np.savez(f, **arrays)
+                if fault is not None:
+                    _faulted_write(fault, f, arrays)
+                else:
+                    np.savez(f, **arrays)
             written = tmp.stat().st_size
             os.replace(tmp, path)
         finally:
@@ -556,9 +633,17 @@ class ResultStore:
         return solution
 
     def store_dc(self, key: str, solution: np.ndarray) -> None:
-        """Insert a DC operating point atomically (LRU eviction shared
-        with the transient entries)."""
-        self._write_entry(key, dc=np.asarray(solution, dtype=np.float64))
+        """Insert a DC operating point (LRU eviction shared with the
+        transient entries; same miss-only write-failure degradation as
+        :meth:`store`)."""
+        if self.miss_only:
+            return
+        try:
+            self._write_entry(key, dc=np.asarray(solution, dtype=np.float64))
+        except Exception:
+            self.write_failures += 1
+            self._enter_miss_only()
+            return
         self.dc_stores += 1
 
     def _entries(self, own_only: bool = False) -> list[tuple[float, int, Path]]:
@@ -618,7 +703,7 @@ class ResultStore:
         self.evictions = 0
         self.stores = 0
         self.uncacheable = 0
-        self.write_errors = 0
+        self.write_failures = 0
         self.dc_hits = 0
         self.dc_misses = 0
         self.dc_stores = 0
@@ -636,6 +721,7 @@ class ResultStore:
         self._total_bytes = None
         self._undeletable.clear()
         self._pre_hit_times.clear()
+        self.miss_only = False
         self.reset_counters()
 
     def __len__(self) -> int:
@@ -653,7 +739,8 @@ class ResultStore:
             "evictions": self.evictions,
             "stores": self.stores,
             "uncacheable": self.uncacheable,
-            "write_errors": self.write_errors,
+            "write_failures": self.write_failures,
+            "miss_only": self.miss_only,
             "dc_hits": self.dc_hits,
             "dc_misses": self.dc_misses,
             "dc_stores": self.dc_stores,
@@ -683,9 +770,7 @@ class DcStoreMemo:
         return self._store.lookup_dc(key, mna)
 
     def store(self, key: str, solution: np.ndarray) -> None:
-        try:
-            self._store.store_dc(key, solution)
-        except Exception:
-            # Persistence is an optimisation — degrade, never fail the
-            # solve that produced the operating point.
-            self._store.write_errors += 1
+        # store_dc degrades internally (miss-only mode + write_failures)
+        # rather than raising, so the solve that produced the operating
+        # point can never be lost to a persistence failure.
+        self._store.store_dc(key, solution)

@@ -33,14 +33,14 @@ directly; pass ``batch=False`` for the strictly sequential baseline.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from .._knobs import knob
 from .._util import require
 from ..core.metrics import ErrorStats, error_stats, format_ps
 from ..core.propagation import finish_evaluation, prepare_evaluation
 from ..core.techniques import PropagationInputs, Technique, all_techniques
-from ..exec import ExecutionConfig, run_jobs
+from ..exec import ExecutionConfig, journal_for, run_jobs
 from .noise_injection import (NoiselessReference, SweepTiming,
                               alignment_offsets, finish_noise_sweep,
                               prepare_noise_sweep)
@@ -120,6 +120,26 @@ class Table1Result:
         return "\n".join(lines)
 
 
+def _result_payload(result: Table1Result) -> dict:
+    """A :class:`Table1Result` as a JSON-journalable dict."""
+    return {"config_name": result.config_name, "n_cases": result.n_cases,
+            "polarity": result.polarity,
+            "rows": [{"technique": r.technique, "delay": asdict(r.delay),
+                      "arrival": asdict(r.arrival)} for r in result.rows]}
+
+
+def _result_from_payload(payload: dict) -> Table1Result:
+    """Rebuild a journaled :class:`Table1Result` (inverse of
+    :func:`_result_payload`; exact — JSON round-trips doubles and NaN)."""
+    return Table1Result(
+        config_name=payload["config_name"], n_cases=payload["n_cases"],
+        polarity=payload["polarity"],
+        rows=tuple(Table1Row(technique=r["technique"],
+                             delay=ErrorStats(**r["delay"]),
+                             arrival=ErrorStats(**r["arrival"]))
+                   for r in payload["rows"]))
+
+
 def run_table1(
     config: CrosstalkConfig,
     n_cases: int | None = None,
@@ -132,6 +152,7 @@ def run_table1(
     solver_backend: str = "auto",
     adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
+    journal: "bool | None" = None,
 ) -> Table1Result:
     """Run the Table 1 sweep for one configuration.
 
@@ -176,6 +197,11 @@ def run_table1(
         Shared execution-layer configuration (workers + result store);
         ``None`` uses the ``REPRO_WORKERS`` / ``REPRO_STORE``
         environment defaults.
+    journal:
+        Crash-safe resume through the write-ahead run journal
+        (:mod:`repro.exec.journal`), one record per completed
+        configuration.  ``None`` (default) follows the
+        ``REPRO_JOURNAL`` knob; needs a configured result store.
 
     Returns
     -------
@@ -185,7 +211,7 @@ def run_table1(
         [config], n_cases=n_cases, timing=timing, techniques=techniques,
         polarity=polarity, noiseless=noiseless, progress=progress,
         batch=batch, solver_backend=solver_backend, adaptive=adaptive,
-        execution=execution)[0]
+        execution=execution, journal=journal)[0]
 
 
 def run_table1_many(
@@ -200,6 +226,7 @@ def run_table1_many(
     solver_backend: str = "auto",
     adaptive: "bool | None" = None,
     execution: ExecutionConfig | None = None,
+    journal: "bool | None" = None,
 ) -> list[Table1Result]:
     """Run the Table 1 sweep for several configurations at once.
 
@@ -222,6 +249,36 @@ def run_table1_many(
     techs = techniques if techniques is not None else all_techniques()
     n_total = n_cases if n_cases is not None else default_case_count()
     require(n_total >= 2, "need at least two cases")
+
+    jr = journal_for(
+        "table1",
+        (tuple(configs), int(n_total), timing,
+         tuple(t.name for t in techs), polarity, noiseless,
+         str(solver_backend),
+         bool(knob("REPRO_ADAPTIVE") if adaptive is None else adaptive)),
+        len(configs), execution=execution, enabled=journal)
+    if jr is not None:
+        # Resumable mode trades the cross-configuration batch front for
+        # per-configuration checkpoints: each configuration runs through
+        # the plain (journal-less) path below and is recorded on
+        # completion, so a killed multi-configuration sweep resumes at
+        # the first unfinished configuration.  Per-configuration results
+        # are bit-identical either way — sharding never changes results.
+        done = jr.completed()
+        results: list[Table1Result] = []
+        for c_idx, config in enumerate(configs):
+            if c_idx in done:
+                results.append(_result_from_payload(done[c_idx]))
+                continue
+            res = run_table1_many(
+                [config], n_cases=n_total, timing=timing, techniques=techs,
+                polarity=polarity, noiseless=noiseless, progress=progress,
+                batch=batch, solver_backend=solver_backend,
+                adaptive=adaptive, execution=execution, journal=False)[0]
+            jr.record(c_idx, _result_payload(res))
+            results.append(res)
+        jr.finish()
+        return results
 
     if polarity == "both":
         plan_dirs = [("opposing", True), ("same", False)]

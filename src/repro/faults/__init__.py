@@ -1,0 +1,29 @@
+"""Deterministic, seeded fault injection (see :mod:`repro.faults.registry`).
+
+Production seams call :func:`maybe_fault` with a literal point name
+declared in :data:`POINTS`; chaos tests activate a :class:`FaultPlan`
+(via the ``REPRO_FAULTS`` knob, :func:`install_plan`, or the
+:func:`injected` context manager) and reconcile what fired against the
+plan with :func:`fault_stats` / :func:`would_fire`.
+"""
+
+from .registry import (POINTS, FaultError, FaultInjector, FaultPlan,
+                       FaultRule, FaultSpecError, active_plan, fault_stats,
+                       injected, install_plan, maybe_fault, reset,
+                       would_fire)
+
+__all__ = [
+    "POINTS",
+    "FaultError",
+    "FaultSpecError",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "maybe_fault",
+    "would_fire",
+    "install_plan",
+    "active_plan",
+    "fault_stats",
+    "reset",
+    "injected",
+]

@@ -17,11 +17,14 @@ Typical use::
 
 ``submit`` raises :class:`~repro.service.queue.Rejected` when admission
 control refuses the job; :meth:`ServiceClient.submit_with_retry` turns
-that into deterministic honour-the-hint backoff instead.
+that into decorrelated-jitter exponential backoff (seeded and
+injectable for tests) so a fleet of refused clients spreads out instead
+of thundering back in lockstep.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections.abc import Callable, Iterator
@@ -167,20 +170,38 @@ class ServiceClient:
     def submit_with_retry(self, job: dict, *, priority: int = 0,
                           on_event: "Callable[[dict], None] | None" = None,
                           attempts: int = 8, max_wait: float = 5.0,
+                          base_wait: float = 0.05,
+                          rng: "random.Random | None" = None,
                           sleep: "Callable[[float], None]" = time.sleep) -> dict:
-        """:meth:`submit`, honouring admission-control backoff hints.
+        """:meth:`submit` with decorrelated-jitter backoff on refusal.
 
-        On :class:`~repro.service.queue.Rejected`, waits the service's
-        ``retry_after`` hint (capped at ``max_wait``) and resubmits, up
-        to ``attempts`` tries — deterministic, no jitter, because the
-        hint already encodes the backlog.  The last refusal propagates.
-        ``sleep`` is injectable for tests.
+        On :class:`~repro.service.queue.Rejected` the client waits and
+        resubmits, up to ``attempts`` tries; the last refusal
+        propagates.  The wait is a *decorrelated-jitter* exponential
+        backoff: a uniform draw from ``[base_wait, max(hint, 3 × last
+        wait, base_wait)]``, capped at ``max_wait`` — never below the
+        service's ``retry_after`` floor semantics, never synchronised
+        across clients.  (Honouring the hint verbatim, as this method
+        originally did, herds every refused client back on the same
+        tick: the service rejects them all again, repeat — a thundering
+        herd that can starve admission indefinitely at high client
+        counts.)
+
+        ``rng`` (default: a fresh OS-seeded :class:`random.Random`) and
+        ``sleep`` are injectable, so tests can pin the jitter sequence
+        and capture the waits without real sleeping.
         """
+        if rng is None:
+            rng = random.Random()
+        wait = 0.0
         for attempt in range(attempts):
             try:
                 return self.submit(job, priority=priority, on_event=on_event)
             except Rejected as exc:
                 if attempt == attempts - 1:
                     raise
-                sleep(min(max_wait, max(0.0, exc.retry_after)))
+                hint = max(0.0, exc.retry_after)
+                target = max(hint, wait * 3.0, base_wait)
+                wait = min(max_wait, rng.uniform(base_wait, target))
+                sleep(wait)
         raise AssertionError("unreachable")  # pragma: no cover

@@ -39,6 +39,8 @@ from __future__ import annotations
 
 import json
 
+from ..faults import maybe_fault
+
 __all__ = ["PROTOCOL_VERSION", "MAX_LINE_BYTES", "ProtocolError",
            "encode", "decode"]
 
@@ -56,9 +58,19 @@ class ProtocolError(ValueError):
 
 
 def encode(message: dict) -> bytes:
-    """One message as a ``\\n``-terminated JSON line."""
-    return json.dumps(message, separators=(",", ":"),
+    """One message as a ``\\n``-terminated JSON line.
+
+    The ``service.frame`` injection point can truncate the frame
+    mid-line (no terminator), standing in for a sender that died with a
+    half-written buffer — the receiver must treat the stitched-together
+    line as one malformed request, not hang on it.
+    """
+    data = json.dumps(message, separators=(",", ":"),
                       allow_nan=True).encode("utf-8") + b"\n"
+    rule = maybe_fault("service.frame")
+    if rule is not None and rule.kind == "truncate":
+        return data[:max(1, len(data) // 2)]
+    return data
 
 
 def decode(line: "bytes | str") -> dict:

@@ -69,6 +69,10 @@ class QueuedJob:
     seq: int = field(compare=False)
     client: str = field(compare=False)
     payload: object = field(compare=False)
+    #: Set by :meth:`AdmissionQueue.finish`; makes release idempotent so
+    #: a job finished twice (abrupt-disconnect cleanup racing normal
+    #: completion) cannot release another job's quota slot.
+    finished: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         self.sort_key = (-self.priority, self.seq)
@@ -143,7 +147,17 @@ class AdmissionQueue:
 
     def finish(self, job: QueuedJob, seconds: "float | None" = None) -> None:
         """Release a popped job's slots and fold its duration into the
-        retry-after estimate."""
+        retry-after estimate.
+
+        Idempotent per job: the second and later calls are no-ops.  A
+        client that disconnects mid-stream leaves its job racing between
+        the normal completion path and any cleanup path; releasing the
+        same slot twice would hand the client's quota to whoever asks
+        next and skew the depth accounting negative.
+        """
+        if job.finished:
+            return
+        job.finished = True
         self._running = max(0, self._running - 1)
         held = self._held.get(job.client, 0)
         if held <= 1:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 
 from .._knobs import knob
 from ..exec import ExecutionConfig, default_execution, fleet_stats
+from ..faults import maybe_fault
 from .jobs import JobSpecError, ServiceJob, build_job
 from .protocol import (MAX_LINE_BYTES, PROTOCOL_VERSION, ProtocolError,
                        decode, encode)
@@ -182,8 +183,22 @@ class StaService:
 
     # -- connection handling ----------------------------------------------
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> bool:
-        """Write one event line; ``False`` when the client is gone."""
+        """Write one event line; ``False`` when the client is gone.
+
+        The ``service.send`` injection point fires inside the existing
+        failure path: ``disconnect`` raises the same ``ConnectionError``
+        a mid-stream client death produces (counted in
+        ``dropped_clients``; the job keeps running), ``slow`` stalls the
+        write like a congested client.
+        """
         try:
+            rule = maybe_fault("service.send")
+            if rule is not None:
+                if rule.kind == "slow":
+                    await asyncio.sleep(rule.delay())
+                elif rule.kind == "disconnect":
+                    raise ConnectionResetError(
+                        "injected mid-stream client disconnect")
             writer.write(encode(message))
             await writer.drain()
             return True

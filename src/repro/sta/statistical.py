@@ -34,7 +34,7 @@ import numpy as np
 
 from .._knobs import knob
 from .._util import require
-from ..exec import ExecutionConfig, run_indexed
+from ..exec import ExecutionConfig, journal_for, run_indexed
 from ..interconnect.rcline import RcLineSpec
 from ..library.characterize import CharacterizedCell
 from .analysis import InputSpec, StaEngine
@@ -160,6 +160,23 @@ def _solve_sample(index: int, spec: _McSpec) -> dict:
     return row
 
 
+def _solve_journaled(j: int, spec: _McSpec, indices: tuple[int, ...],
+                     journal) -> dict:
+    """Solve the ``j``-th *missing* sample and journal it before returning.
+
+    The write-ahead ordering (journal first, merge after) is what makes
+    a ``kill -9`` between samples safe: a sample is either fully
+    recorded or recomputed from scratch on resume — never half-counted.
+    Module-level for the same pickling reason as :func:`_solve_sample`;
+    the journal pickles without its file handle, so pool workers append
+    through their own descriptors.
+    """
+    i = indices[j]
+    row = _solve_sample(i, spec)
+    journal.record(i, row)
+    return row
+
+
 def _quantiles(values, qs=(0.05, 0.5, 0.95)) -> dict[str, float]:
     arr = np.asarray(values, dtype=float)
     return {f"q{int(round(q * 100)):02d}": float(np.quantile(arr, q))
@@ -217,6 +234,7 @@ def run_sta_monte_carlo(
     watch: list[str] | None = None,
     execution: ExecutionConfig | None = None,
     on_sample: "Callable[[dict], None] | None" = None,
+    journal: "bool | None" = None,
 ) -> McResult:
     """Sweep process-variation samples through the STA engine.
 
@@ -240,6 +258,13 @@ def run_sta_monte_carlo(
         Optional streaming callback, called with each per-sample row in
         index order after the sweep completes (the service job uses this
         to emit rows).
+    journal:
+        Crash-safe resume through the write-ahead run journal
+        (:mod:`repro.exec.journal`): completed samples are recorded as
+        they finish and a rerun of the identical sweep resumes at the
+        first unfinished one, with bit-identical quantiles.  ``None``
+        (default) follows the ``REPRO_JOURNAL`` knob; needs a
+        configured result store.
 
     Returns
     -------
@@ -261,8 +286,23 @@ def run_sta_monte_carlo(
                                 required_times=spec.required_times or None)
 
     diag: dict = {}
-    rows = run_indexed(partial(_solve_sample, spec=spec), n,
-                       execution=execution, diag=diag)
+    jr = journal_for("ssta-mc", (spec, n), n,
+                     execution=execution, enabled=journal)
+    if jr is not None:
+        done = jr.completed()
+        missing = tuple(i for i in range(n) if i not in done)
+        computed = run_indexed(
+            partial(_solve_journaled, spec=spec, indices=missing, journal=jr),
+            len(missing), execution=execution,
+            diag=diag) if missing else []
+        by_index = dict(done)
+        by_index.update(zip(missing, computed))
+        rows = [by_index[i] for i in range(n)]
+        diag["journal"] = {"resumed": len(done), "computed": len(missing)}
+        jr.finish()
+    else:
+        rows = run_indexed(partial(_solve_sample, spec=spec), n,
+                           execution=execution, diag=diag)
     if on_sample is not None:
         for row in rows:
             on_sample(row)
@@ -282,6 +322,7 @@ def run_noise_monte_carlo(
     settle_margin: float = 800e-12,
     execution: ExecutionConfig | None = None,
     on_sample: "Callable[[dict], None] | None" = None,
+    journal: "bool | None" = None,
 ) -> McResult:
     """Monte-Carlo over aggressor alignments through noise-aware STA.
 
@@ -328,8 +369,21 @@ def run_noise_monte_carlo(
                     + agg.slew / 0.8 + settle_margin)
                 k += 1
 
+    jr = journal_for(
+        "noise-mc",
+        (tuple(stages), input_ramp, float(sigma_align), n, base_seed,
+         getattr(technique, "name", None), float(dt), float(settle_margin)),
+        n, execution=execution, enabled=journal)
+    done = jr.completed() if jr is not None else {}
+
     rows: list[dict] = []
     for i in range(n):
+        if i in done:
+            row = done[i]
+            rows.append(row)
+            if on_sample is not None:
+                on_sample(row)
+            continue
         per_sample = offsets[i]
         k = 0
         jittered: list[NoisyStage] = []
@@ -348,11 +402,18 @@ def run_noise_monte_carlo(
         row = {"index": i,
                "arrival": {"out": timings[-1].output_arrival},
                "offsets": list(per_sample)}
+        if jr is not None:
+            jr.record(i, row)
         rows.append(row)
         if on_sample is not None:
             on_sample(row)
 
+    diag: dict = {"window_end": window_end}
+    if jr is not None:
+        diag["journal"] = {"resumed": len(done),
+                           "computed": n - len(done)}
+        jr.finish()
     quantiles = {"arrival": {"out": _quantiles(
         [r["arrival"]["out"] for r in rows])}}
     return McResult(samples=n, seed=base_seed, rows=rows,
-                    quantiles=quantiles, diag={"window_end": window_end})
+                    quantiles=quantiles, diag=diag)

@@ -1,0 +1,242 @@
+"""Chaos harness: seeded fault storms through the real production seams.
+
+Each test installs a :class:`repro.faults.FaultPlan` and drives the
+actual layer — pool workers, store I/O, service connections, Newton
+refactorisation — asserting the documented degradation *and* that
+results stay bit-identical (or within the backend ladder's <1e-9 V
+contract, for the solver seam).  Counters reconcile against the plan
+via :func:`repro.faults.would_fire`, the prediction half of the
+replayability contract.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.sources import RampSource
+from repro.circuit.transient import (TransientJob, TransientOptions,
+                                     simulate_transient,
+                                     simulate_transient_many)
+from repro.exec import ExecutionConfig, ResultStore, run_jobs
+from repro.faults import FaultPlan, install_plan, injected, would_fire
+from repro.library.cells import make_inverter
+from repro.service import ServiceClient, ServiceSettings, serve_in_thread
+from repro.service.protocol import encode
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+def rc_job(start: float = 50e-12) -> TransientJob:
+    c = Circuit("rc")
+    c.vsource("Vin", "in", "0", RampSource(start, 1e-10, 0.0, 1.2))
+    c.resistor("R1", "in", "out", 1e3)
+    c.capacitor("C1", "out", "0", 2e-14)
+    return TransientJob(c, t_stop=5e-10, dt=2e-12)
+
+
+def _jobs(n: int) -> list:
+    return [rc_job(start=20e-12 + 10e-12 * k) for k in range(n)]
+
+
+def _assert_identical(results, baseline):
+    assert len(results) == len(baseline)
+    for res, ref in zip(results, baseline):
+        np.testing.assert_array_equal(res.times, ref.times)
+        np.testing.assert_array_equal(res._x, ref._x)
+
+
+# ----------------------------------------------------------------------
+# pool seams
+# ----------------------------------------------------------------------
+class TestPoolChaos:
+    def test_all_workers_crash_results_bit_identical(self):
+        jobs = _jobs(8)
+        baseline = simulate_transient_many(_jobs(8))
+        diag: dict = {}
+        with injected("seed=1; pool.worker=crash"):
+            results = run_jobs(jobs,
+                               ExecutionConfig(workers=2, min_pool_jobs=2),
+                               diag=diag)
+        _assert_identical(results, baseline)
+        # Every shard's worker died; every shard fell back inline.
+        assert diag["fallback_shards"] >= 1
+        if diag["mode"] == "sharded":
+            assert diag["fallback_shards"] == diag["shards"]
+
+    def test_crash_counters_reconcile_with_plan(self):
+        # p=0.5: the parent can predict exactly which shard indices
+        # crashed (the token is the shard index) without hearing from
+        # the dead workers.
+        spec = "seed=7; pool.worker=crash:p=0.5"
+        jobs = _jobs(8)
+        baseline = simulate_transient_many(_jobs(8))
+        diag: dict = {}
+        with injected(spec):
+            results = run_jobs(jobs,
+                               ExecutionConfig(workers=4, min_pool_jobs=2),
+                               diag=diag)
+        _assert_identical(results, baseline)
+        if diag["mode"] == "sharded":
+            plan = FaultPlan.parse(spec)
+            predicted = sum(
+                1 for s in range(diag["shards"])
+                if would_fire(plan, "pool.worker", s) is not None)
+            assert diag["fallback_shards"] == predicted
+
+    def test_wedged_workers_hit_the_deadline_not_the_wall_clock(self):
+        jobs = _jobs(6)
+        baseline = simulate_transient_many(_jobs(6))
+        diag: dict = {}
+        t0 = time.monotonic()
+        with injected("pool.worker=wedge:arg=30"):
+            results = run_jobs(
+                jobs, ExecutionConfig(workers=2, min_pool_jobs=2,
+                                      shard_timeout=0.3),
+                diag=diag)
+        elapsed = time.monotonic() - t0
+        _assert_identical(results, baseline)
+        assert elapsed < 20.0, "wedge outlived the shard deadline"
+        if diag["mode"] == "sharded":
+            assert diag["timeout_shards"] == diag["shards"]
+            assert diag["fallback_shards"] == diag["shards"]
+
+
+# ----------------------------------------------------------------------
+# store seams
+# ----------------------------------------------------------------------
+class TestStoreChaos:
+    def test_corrupt_reads_heal_and_stay_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        warm = run_jobs([job], cfg)[0]
+        with injected("seed=3; store.read=corrupt:n=2"):
+            first = run_jobs([rc_job()], cfg)[0]   # corrupt -> resolve
+            second = run_jobs([rc_job()], cfg)[0]  # corrupt -> resolve
+            third = run_jobs([rc_job()], cfg)[0]   # window over -> hit
+        assert store.corrupt == 2
+        for res in (first, second, third):
+            np.testing.assert_array_equal(res._x, warm._x)
+        assert third.stats["source"] == "store"
+        assert not store.miss_only  # read faults never poison writes
+
+    @pytest.mark.parametrize("kind", ["fail", "partial", "enospc"])
+    def test_write_failures_degrade_to_miss_only(self, tmp_path, kind):
+        store = ResultStore(tmp_path)
+        cfg = ExecutionConfig(store=store)
+        baseline = rc_job().run()
+        with injected(f"store.write={kind}:n=1"):
+            with pytest.warns(RuntimeWarning, match="miss-only"):
+                res = run_jobs([rc_job()], cfg)[0]
+        np.testing.assert_array_equal(res._x, baseline._x)
+        assert store.miss_only and store.write_failures == 1
+        assert store.stores == 0 and len(store) == 0
+        # No torn temp files survive the failed write.
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unlink_failure_memoises_the_undeletable_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cfg = ExecutionConfig(store=store)
+        run_jobs([rc_job()], cfg)
+        with injected("store.read=corrupt:n=1; store.unlink=fail:n=1"):
+            res = run_jobs([rc_job()], cfg)[0]
+        # Healing failed: counted corrupt once, remembered, and the
+        # fresh re-store supersedes the memo.
+        assert store.corrupt == 1
+        np.testing.assert_array_equal(res._x, rc_job().run()._x)
+        assert run_jobs([rc_job()], cfg)[0].stats["source"] == "store"
+
+
+# ----------------------------------------------------------------------
+# service seams
+# ----------------------------------------------------------------------
+class TestServiceChaos:
+    def test_mid_stream_disconnect_drops_one_client_not_the_service(self):
+        svc, shutdown = serve_in_thread(ServiceSettings(port=0))
+        try:
+            # Ordinal 0 is the hello; ordinal 1 — the pong — is the
+            # send injected to die mid-stream.
+            with injected("service.send=disconnect:after=1:n=1"):
+                with ServiceClient(port=svc.port, timeout=10.0) as victim:
+                    with pytest.raises((ConnectionError, OSError)):
+                        victim.ping()
+            assert svc.dropped_clients >= 1
+            # The service survives: a fresh client round-trips fine.
+            with ServiceClient(port=svc.port, timeout=10.0) as healthy:
+                assert healthy.ping()["event"] == "pong"
+        finally:
+            shutdown()
+
+    def test_truncated_frame_is_one_bad_request_not_a_hang(self):
+        svc, shutdown = serve_in_thread(ServiceSettings(port=0))
+        try:
+            with ServiceClient(port=svc.port, timeout=10.0) as client:
+                with injected("service.frame=truncate:n=1"):
+                    torn = encode({"op": "ping"})
+                assert not torn.endswith(b"\n")
+                # The torn frame stitches onto the next line; the server
+                # must parse the combination as one malformed request.
+                client._file.write(torn)
+                client._file.write(encode({"op": "ping"}))
+                client._file.flush()
+                reply = client._read()
+                assert reply["event"] == "error"
+                # The connection (and the service) remain usable.
+                assert client.ping()["event"] == "pong"
+            assert svc.bad_requests == 1
+        finally:
+            shutdown()
+
+    def test_slow_send_delays_but_delivers(self):
+        svc, shutdown = serve_in_thread(ServiceSettings(port=0))
+        try:
+            with ServiceClient(port=svc.port, timeout=10.0) as client:
+                with injected("service.send=slow:arg=0.2:n=1"):
+                    t0 = time.monotonic()
+                    assert client.ping()["event"] == "pong"
+                    assert time.monotonic() - t0 >= 0.2
+        finally:
+            shutdown()
+
+
+# ----------------------------------------------------------------------
+# solver seam
+# ----------------------------------------------------------------------
+def _inverter() -> Circuit:
+    c = Circuit("inv")
+    c.vsource("Vdd", "vdd", "0", 1.2)
+    c.vsource("Vin", "in", "0", RampSource(0.1e-9, 100e-12, 0.0, 1.2))
+    make_inverter(4).instantiate(c, "u0", "in", "out", "vdd")
+    c.capacitor("cl", "out", "0", 20e-15)
+    return c
+
+
+INV_INITIAL = {"in": 0.0, "out": 1.2, "vdd": 1.2}
+
+
+class TestSolverChaos:
+    def test_singular_refactorization_rides_the_backend_ladder(self):
+        ref = simulate_transient(
+            _inverter(), t_stop=0.3e-9, dt=5e-12,
+            initial_voltages=dict(INV_INITIAL),
+            options=TransientOptions(backend="dense"))
+        # Unlimited storm: the DC operating-point solve has its own
+        # (uncounted) dense fallback and would eat a one-shot fault
+        # before the transient Newton loop ever saw it.
+        with injected("solver.refactor=singular"):
+            res = simulate_transient(
+                _inverter(), t_stop=0.3e-9, dt=5e-12,
+                initial_voltages=dict(INV_INITIAL),
+                options=TransientOptions(backend="sparse"))
+        assert res.stats["newton_fallbacks"] >= 1
+        worst = max(float(np.max(np.abs(res.voltages_at(n, ref.times)
+                                        - ref.voltage_samples(n))))
+                    for n in ref.node_names)
+        assert worst < 1e-9

@@ -260,7 +260,7 @@ class TestCostBalancedShards:
         assert_equivalent(serial, sharded)
 
 
-def _wedged_shard(jobs):  # module-level: picklable into the workers
+def _wedged_shard(jobs, fault_token=None):  # module-level: picklable
     import time
     time.sleep(60.0)  # far past any test deadline; abandoned, not joined
     raise AssertionError("unreachable: the deadline should abandon us")

@@ -1,0 +1,156 @@
+"""Fault-injection registry: spec parsing, pure decisions, accounting.
+
+The registry's load-bearing property is replayability: every fire
+decision is a pure function of ``(seed, point, rule index, token)``, so
+a storm replays bit-identically across processes and the parent can
+predict worker-side fires it never observes.  These tests pin that
+contract plus the knob-garbage degradation and the scoping helpers.
+"""
+
+import warnings
+
+import pytest
+
+from repro.faults import (POINTS, FaultPlan, FaultRule, FaultSpecError,
+                          active_plan, fault_stats, injected, install_plan,
+                          maybe_fault, reset, would_fire)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends with no plan installed."""
+    install_plan(None)
+    yield
+    install_plan(None)
+
+
+class TestSpecParsing:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "seed=42; pool.worker=crash:p=0.5:n=3:after=1; "
+            "store.read=corrupt; pool.worker=wedge:arg=2.5")
+        assert plan.seed == 42
+        assert len(plan.rules) == 3
+        r = plan.rules[0]
+        assert (r.point, r.kind, r.probability, r.count, r.after) \
+            == ("pool.worker", "crash", 0.5, 3, 1)
+        assert plan.rules[2].delay() == 2.5
+
+    def test_default_delays(self):
+        wedge = FaultRule("pool.worker", "wedge")
+        slow = FaultRule("pool.worker", "slow")
+        assert wedge.delay() > slow.delay() > 0.0
+
+    @pytest.mark.parametrize("spec", [
+        "",                               # no clauses
+        "seed=7",                         # seed only
+        "nonsense",                       # no '='
+        "no.such.point=crash",            # undeclared point
+        "pool.worker=corrupt",            # kind not honoured by point
+        "pool.worker=crash:p=2.0",        # probability out of range
+        "pool.worker=crash:n=0",          # empty window
+        "pool.worker=crash:after=-1",     # negative start
+        "pool.worker=crash:zz=1",         # unknown option
+        "pool.worker=crash:p=lots",       # unparseable value
+        "seed=lots; pool.worker=crash",   # unparseable seed
+    ])
+    def test_garbage_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_every_declared_kind_parses(self):
+        for point, kinds in POINTS.items():
+            for kind in kinds:
+                plan = FaultPlan.parse(f"{point}={kind}")
+                assert plan.rules[0].kind == kind
+
+
+class TestDecisions:
+    def test_pure_and_seeded(self):
+        plan = FaultPlan.parse("seed=3; pool.worker=crash:p=0.5")
+        first = [would_fire(plan, "pool.worker", t) for t in range(64)]
+        again = [would_fire(plan, "pool.worker", t) for t in range(64)]
+        assert first == again
+        fired = [r is not None for r in first]
+        assert any(fired) and not all(fired)  # p=0.5 actually splits
+        other = FaultPlan.parse("seed=4; pool.worker=crash:p=0.5")
+        assert [would_fire(other, "pool.worker", t) is not None
+                for t in range(64)] != fired
+
+    def test_token_window(self):
+        plan = FaultPlan.parse("store.read=corrupt:n=2:after=3")
+        hits = [t for t in range(10)
+                if would_fire(plan, "store.read", t) is not None]
+        assert hits == [3, 4]
+
+    def test_other_points_unaffected(self):
+        plan = FaultPlan.parse("store.read=corrupt")
+        assert would_fire(plan, "store.write", 0) is None
+
+    def test_injector_matches_prediction(self):
+        # The injector's per-call ordinal decision IS would_fire's,
+        # which is what lets a parent reconcile counters.
+        spec = "seed=9; store.read=corrupt:p=0.4:n=8"
+        with injected(spec) as inj:
+            observed = [maybe_fault("store.read") for _ in range(12)]
+        plan = FaultPlan.parse(spec)
+        assert observed == [would_fire(plan, "store.read", t)
+                            for t in range(12)]
+        stats = inj.stats()
+        assert stats["points"]["store.read"]["calls"] == 12
+        fired = sum(1 for r in observed if r is not None)
+        assert stats["points"]["store.read"]["fired"].get("corrupt", 0) \
+            == fired
+
+    def test_explicit_token_overrides_ordinal(self):
+        with injected("pool.worker=crash:n=1:after=5"):
+            assert maybe_fault("pool.worker", 0) is None
+            assert maybe_fault("pool.worker", 5) is not None
+
+    def test_undeclared_point_raises_when_active(self):
+        with injected("pool.worker=crash"):
+            with pytest.raises(ValueError, match="undeclared"):
+                maybe_fault("no.such.point")
+
+    def test_inactive_is_none_even_for_undeclared(self):
+        # The production fast path: no plan, no validation, no cost.
+        assert maybe_fault("pool.worker") is None
+
+
+class TestScoping:
+    def test_install_and_reset(self):
+        install_plan("pool.worker=crash")
+        assert active_plan() is not None
+        assert maybe_fault("pool.worker", 0) is not None
+        install_plan(None)
+        assert active_plan() is None
+        assert fault_stats() is None
+
+    def test_injected_restores_previous(self):
+        install_plan("store.read=corrupt")
+        with injected("pool.worker=crash"):
+            assert maybe_fault("store.read") is None
+            assert maybe_fault("pool.worker", 0) is not None
+        assert maybe_fault("store.read") is not None
+
+    def test_env_garbage_warns_and_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "utter garbage")
+        reset()
+        with pytest.warns(RuntimeWarning, match="ignoring REPRO_FAULTS"):
+            assert maybe_fault("pool.worker") is None
+        # Resolved once: the next call is the silent fast path.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert maybe_fault("pool.worker") is None
+
+    def test_env_plan_activates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1; store.read=corrupt:n=1")
+        reset()
+        assert maybe_fault("store.read") is not None
+        assert maybe_fault("store.read") is None  # window exhausted
+        assert active_plan().seed == 1
+
+    def test_env_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        reset()
+        assert maybe_fault("pool.worker") is None

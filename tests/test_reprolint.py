@@ -50,10 +50,10 @@ def messages(result, rule=None):
 
 # ---------------------------------------------------------------- framework
 
-def test_registry_has_the_five_rules():
+def test_registry_has_the_six_rules():
     assert set(all_rules()) == {"store-key", "njit-subset",
                                 "silent-fallback", "env-knob",
-                                "nan-policy"}
+                                "nan-policy", "fault-seam"}
 
 
 def test_unknown_rule_id_rejected(tmp_path):
@@ -388,6 +388,96 @@ def test_r5_declared_policies_exempt(tmp_path):
         def pick(x, nan_policy):
             return 0.0 if math.isnan(x) else x
         """}, rules=["nan-policy"])
+    assert messages(result) == []
+
+
+# ---------------------------------------------------------- R6: fault-seam
+
+_REGISTRY_FIXTURE = """\
+    POINTS: dict[str, tuple[str, ...]] = {
+        "pool.worker": ("crash", "wedge"),
+        "store.read": ("corrupt",),
+    }
+    """
+
+
+def test_r6_declared_literal_seams_pass(tmp_path):
+    result = lint(tmp_path, {
+        "faults/registry.py": _REGISTRY_FIXTURE,
+        "exec/pool.py": """\
+            from ..faults import maybe_fault
+
+            def work(shard):
+                maybe_fault("pool.worker", shard)
+                return shard
+            """}, rules=["fault-seam"])
+    assert messages(result) == []
+
+
+def test_r6_undeclared_point_caught(tmp_path):
+    result = lint(tmp_path, {
+        "faults/registry.py": _REGISTRY_FIXTURE,
+        "exec/pool.py": """\
+            from ..faults import maybe_fault
+
+            def work(shard):
+                maybe_fault("pool.reducer", shard)
+            """}, rules=["fault-seam"])
+    msgs = messages(result, "fault-seam")
+    assert len(msgs) == 1 and "'pool.reducer'" in msgs[0]
+    assert "POINTS" in msgs[0]
+
+
+def test_r6_non_literal_point_caught(tmp_path):
+    result = lint(tmp_path, {
+        "faults/registry.py": _REGISTRY_FIXTURE,
+        "exec/pool.py": """\
+            from ..faults import maybe_fault
+
+            def work(point, shard):
+                maybe_fault(point, shard)
+            """}, rules=["fault-seam"])
+    msgs = messages(result, "fault-seam")
+    assert len(msgs) == 1 and "string literal" in msgs[0]
+
+
+def test_r6_missing_registry_caught(tmp_path):
+    result = lint(tmp_path, {"exec/pool.py": """\
+        from ..faults import maybe_fault
+
+        def work(shard):
+            maybe_fault("pool.worker", shard)
+        """}, rules=["fault-seam"])
+    msgs = messages(result, "fault-seam")
+    assert len(msgs) == 1 and "no faults registry" in msgs[0]
+
+
+def test_r6_adhoc_failure_toggle_caught(tmp_path):
+    result = lint(tmp_path, {
+        "faults/registry.py": _REGISTRY_FIXTURE,
+        "exec/store.py": """\
+            _CRASH_ON_WRITE = False
+            _INJECT_READ_ERRORS: bool = False
+            TIMEOUT_SECONDS = 5.0  # not fault-named: fine
+
+            def write(entry):
+                if _CRASH_ON_WRITE:
+                    raise OSError("boom")
+            """}, rules=["fault-seam"])
+    msgs = messages(result, "fault-seam")
+    assert len(msgs) == 2
+    assert all("registry" in m for m in msgs)
+
+
+def test_r6_registry_module_is_exempt(tmp_path):
+    # The faults package itself defines the vocabulary (including
+    # fault-named constants) without tripping its own rule.
+    result = lint(tmp_path, {"faults/registry.py": """\
+        POINTS: dict[str, tuple[str, ...]] = {
+            "pool.worker": ("crash", "wedge"),
+        }
+        _DEFAULT_CRASH_DELAY = 0.0
+        """}, rules=["fault-seam"])
     assert messages(result) == []
 
 

@@ -6,6 +6,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -192,14 +193,50 @@ class TestCorruptionRecovery:
 
     def test_store_write_failure_does_not_discard_results(self, store, monkeypatch):
         """Persistence is an optimisation: a failing disk degrades to an
-        uncached run instead of aborting after the solves succeeded."""
+        uncached (miss-only) run instead of aborting after the solves
+        succeeded."""
         def full_disk(key, result):
             raise OSError("no space left on device")
-        monkeypatch.setattr(store, "store", full_disk)
+        monkeypatch.setattr(store, "_write_entry", full_disk)
         job = rc_job()
-        results = run_jobs([job], ExecutionConfig(store=store))
-        assert len(results) == 1 and store.write_errors == 1
+        with pytest.warns(RuntimeWarning, match="miss-only"):
+            results = run_jobs([job], ExecutionConfig(store=store))
+        assert len(results) == 1 and store.write_failures == 1
+        assert store.miss_only and store.stores == 0 and len(store) == 0
         np.testing.assert_array_equal(results[0]._x, job.run()._x)
+
+    def test_miss_only_mode_latches_and_warns_once(self, store, monkeypatch):
+        def full_disk(key, result):
+            raise OSError("no space left on device")
+        monkeypatch.setattr(store, "_write_entry", full_disk)
+        cfg = ExecutionConfig(store=store)
+        with pytest.warns(RuntimeWarning, match="miss-only"):
+            run_jobs([rc_job()], cfg)
+        # Latched: further stores return early — no second failure, no
+        # second warning, results still correct.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            results = run_jobs([rc_job(start=5e-12)], cfg)
+        assert len(results) == 1
+        assert store.write_failures == 1 and store.stores == 0
+        assert store.stats()["miss_only"] is True
+        # clear() resets the degradation along with the entries.
+        store.clear()
+        assert not store.miss_only and store.write_failures == 0
+
+    def test_miss_only_store_still_serves_reads(self, store, monkeypatch):
+        cfg = ExecutionConfig(store=store)
+        job = rc_job()
+        run_jobs([job], cfg)  # healthy write while the disk is fine
+        assert store.stores == 1
+        def full_disk(key, result):
+            raise OSError("no space left on device")
+        monkeypatch.setattr(store, "_write_entry", full_disk)
+        with pytest.warns(RuntimeWarning, match="miss-only"):
+            run_jobs([rc_job(start=5e-12)], cfg)
+        assert store.miss_only
+        # The warm entry written before the failure still serves hits.
+        assert run_jobs([job], cfg)[0].stats["source"] == "store"
 
     def test_shape_mismatch_counts_as_corrupt(self, store):
         cfg = ExecutionConfig(store=store)

@@ -4,6 +4,7 @@ rejection + retry backoff, per-tenant store namespaces, shutdown)."""
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -163,6 +164,59 @@ class TestAdmissionQueue:
         stats = q.stats()
         assert stats["depth"] == 1 and stats["clients"] == 1
         assert stats["submitted"] == 1 and stats["completed"] == 0
+
+    def test_finish_is_idempotent_per_job(self):
+        # Abrupt-disconnect cleanup can race normal completion into a
+        # double finish; the second call must not release another
+        # job's quota slot or drive the accounting negative.
+        q = AdmissionQueue(max_depth=16, quota=1)
+        job = q.submit("a", client="a")
+        popped = q.pop()
+        q.finish(popped)
+        q.finish(popped)  # duplicate: no-op
+        assert q.running == 0 and q.completed == 1
+        q.submit("a-again", client="a")  # quota slot back — exactly one
+        with pytest.raises(Rejected):
+            q.submit("a-too-many", client="a")
+        assert job.finished
+
+    def test_quota_released_exactly_once_under_random_disconnect_orders(self):
+        # Property-style: random interleavings of submit / pop / finish
+        # / duplicate-finish (the disconnect-cleanup race) must always
+        # drain to empty accounting, with completed == unique finishes.
+        for seed in range(20):
+            rng = random.Random(seed)
+            q = AdmissionQueue(max_depth=64, quota=4)
+            clients = ["a", "b", "c"]
+            popped, finished = [], []
+            for _ in range(120):
+                roll = rng.random()
+                if roll < 0.4:
+                    try:
+                        q.submit("job", client=rng.choice(clients),
+                                 priority=rng.randrange(3))
+                    except Rejected:
+                        pass
+                elif roll < 0.7:
+                    job = q.pop()
+                    if job is not None:
+                        popped.append(job)
+                elif popped and roll < 0.9:
+                    job = popped.pop(rng.randrange(len(popped)))
+                    q.finish(job)
+                    finished.append(job)
+                elif finished:  # disconnect cleanup re-finishes
+                    q.finish(rng.choice(finished))
+            while q.depth or popped:  # drain everything still live
+                job = q.pop()
+                if job is not None:
+                    popped.append(job)
+                q.finish(popped.pop())
+            assert q.running == 0
+            assert q._held == {}, f"leaked quota slots (seed {seed})"
+            # Duplicate finishes never inflate the completion count:
+            # every admitted job was drained and counted exactly once.
+            assert q.completed == q.submitted
 
 
 # ----------------------------------------------------------------------
@@ -339,6 +393,91 @@ class TestAdmissionOverWire:
         finally:
             shutdown()
         assert svc.queue.rejected_quota == 1
+
+
+class TestRetryBackoff:
+    """Decorrelated-jitter backoff, unit-tested without a server: the
+    whole policy is pure given an injected rng and sleep."""
+
+    def _rejecting_client(self, retry_after=0.2):
+        client = ServiceClient.__new__(ServiceClient)  # no socket
+        calls = []
+
+        def submit(job, *, priority=0, on_event=None):
+            calls.append(job)
+            raise Rejected("queue full", retry_after)
+
+        client.submit = submit
+        return client, calls
+
+    def test_jitter_spreads_and_respects_the_cap(self):
+        client, calls = self._rejecting_client()
+        waits = []
+        with pytest.raises(Rejected):
+            client.submit_with_retry({}, attempts=6, max_wait=1.0,
+                                     base_wait=0.05, rng=random.Random(0),
+                                     sleep=waits.append)
+        assert len(calls) == 6
+        assert len(waits) == 5  # the last refusal propagates unslept
+        assert all(0.05 <= w <= 1.0 for w in waits)
+        # Jittered, not the herd-synchronising verbatim hint.
+        assert len(set(waits)) > 1
+        assert waits != [0.2] * 5
+
+    def test_seeded_sequence_is_reproducible(self):
+        runs = []
+        for _ in range(2):
+            client, _ = self._rejecting_client()
+            waits = []
+            with pytest.raises(Rejected):
+                client.submit_with_retry({}, attempts=5,
+                                         rng=random.Random(7),
+                                         sleep=waits.append)
+            runs.append(waits)
+        assert runs[0] == runs[1]
+
+    def test_two_clients_with_different_seeds_desynchronise(self):
+        sequences = []
+        for seed in (1, 2):
+            client, _ = self._rejecting_client()
+            waits = []
+            with pytest.raises(Rejected):
+                client.submit_with_retry({}, attempts=8,
+                                         rng=random.Random(seed),
+                                         sleep=waits.append)
+            sequences.append(waits)
+        assert sequences[0] != sequences[1]
+
+    def test_backoff_grows_toward_the_cap(self):
+        # The 3x-last-wait target makes the *upper bound* exponential;
+        # with a large hintless window the draws trend upward until
+        # max_wait clips them.
+        client, _ = self._rejecting_client(retry_after=0.0)
+        waits = []
+        with pytest.raises(Rejected):
+            client.submit_with_retry({}, attempts=12, max_wait=0.8,
+                                     base_wait=0.05,
+                                     rng=random.Random(3),
+                                     sleep=waits.append)
+        assert max(waits) <= 0.8
+        assert max(waits[-4:]) > waits[0]
+
+    def test_success_after_refusals_returns_the_result(self):
+        client = ServiceClient.__new__(ServiceClient)
+        outcomes = [Rejected("queue full", 0.1),
+                    Rejected("queue full", 0.1), {"ok": True}]
+
+        def submit(job, *, priority=0, on_event=None):
+            out = outcomes.pop(0)
+            if isinstance(out, Exception):
+                raise out
+            return out
+
+        client.submit = submit
+        waits = []
+        assert client.submit_with_retry({}, rng=random.Random(0),
+                                        sleep=waits.append) == {"ok": True}
+        assert len(waits) == 2
 
 
 class TestTenantNamespaces:

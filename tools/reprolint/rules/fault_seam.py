@@ -1,0 +1,132 @@
+"""R6 ``fault-seam``: failure injection goes through the declared
+``repro.faults`` registry, never through ad-hoc test hooks.
+
+Chaos seams earn their keep only while they stay auditable: every
+injection point must be *declared* (named in the registry's ``POINTS``
+table, with its legal kinds) and *addressed by literal name* at the
+call site, so the full fault surface of the codebase is grep-able and
+the chaos CI matrix can reconcile fired counters against the plan.
+Two failure smells are flagged:
+
+* a ``maybe_fault(...)`` call whose point is not a string literal, or
+  whose literal point is missing from the registry's ``POINTS`` dict —
+  an undeclared seam fires for no plan and reconciles with nothing;
+* a module-level constant toggle named like a failure hook
+  (``_CRASH_ON_WRITE = False`` and friends) outside the faults package
+  — the pattern this registry replaces: monkeypatchable globals that
+  make production behaviour depend on test-only state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Rule, register
+
+#: Name fragments that mark a module-level constant as a failure hook.
+_FAULT_WORDS = frozenset({
+    "fault", "faults", "chaos", "crash", "wedge",
+    "inject", "injected", "injection", "injector",
+})
+
+_CALL_NAME = "maybe_fault"
+
+
+def _is_faults_package(ctx) -> bool:
+    return "faults" in ctx.path.parts
+
+
+def _declared_points(project) -> "tuple[set | None, str | None]":
+    """The registry's ``POINTS`` keys, parsed (not imported) from the
+    faults package, plus the file they came from."""
+    for ctx in project.files:
+        if not _is_faults_package(ctx):
+            continue
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                named = any(isinstance(t, ast.Name) and t.id == "POINTS"
+                            for t in node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                named = isinstance(node.target, ast.Name) and \
+                    node.target.id == "POINTS"
+            else:
+                continue
+            if named and isinstance(node.value, ast.Dict):
+                points = {k.value for k in node.value.keys
+                          if isinstance(k, ast.Constant)
+                          and isinstance(k.value, str)}
+                return points, ctx.rel
+    return None, None
+
+
+def _fault_named(name: str) -> bool:
+    return bool(_FAULT_WORDS.intersection(name.lower().split("_")))
+
+
+@register
+class FaultSeamRegistry(Rule):
+    id = "fault-seam"
+    description = (
+        "failure injection uses registered repro.faults points; no "
+        "ad-hoc test-only failure hooks in src/")
+
+    def check_file(self, ctx, project):
+        findings = []
+        in_registry = _is_faults_package(ctx)
+        points = points_file = None
+        resolved = False
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name != _CALL_NAME or in_registry:
+                continue
+            if not node.args or not (
+                    isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                findings.append(self.finding(
+                    ctx, node.lineno,
+                    f"{_CALL_NAME}() point must be a string literal so "
+                    f"the fault surface stays grep-able and auditable"))
+                continue
+            if not resolved:
+                points, points_file = _declared_points(project)
+                resolved = True
+            point = node.args[0].value
+            if points is None:
+                findings.append(self.finding(
+                    ctx, node.lineno,
+                    f"{_CALL_NAME}({point!r}) but no faults registry "
+                    f"(a POINTS table in a faults/ package) is in the "
+                    f"scanned paths — include it so seams can be "
+                    f"checked against their declarations"))
+            elif point not in points:
+                findings.append(self.finding(
+                    ctx, node.lineno,
+                    f"injection point {point!r} is not declared in "
+                    f"POINTS ({points_file}); declare it (with its "
+                    f"kinds) before wiring the seam"))
+
+        if not in_registry:
+            for node in ctx.tree.body:
+                targets = []
+                if isinstance(node, ast.Assign):
+                    targets = [t for t in node.targets
+                               if isinstance(t, ast.Name)]
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name):
+                    targets = [node.target]
+                    value = node.value
+                for t in targets:
+                    if _fault_named(t.id) and isinstance(value, ast.Constant):
+                        findings.append(self.finding(
+                            ctx, node.lineno,
+                            f"module-level failure toggle {t.id!r}: "
+                            f"test-only failure hooks belong in the "
+                            f"repro.faults registry (a declared POINTS "
+                            f"entry), not in monkeypatchable globals"))
+        return findings
